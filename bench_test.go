@@ -1,0 +1,488 @@
+package pooldcs
+
+// Benchmark harness: one benchmark per evaluation artifact of the paper
+// (Figures 6(a), 6(b), 7(a), 7(b)) and per ablation in DESIGN.md, plus
+// micro-benchmarks of the hot paths. Each figure benchmark regenerates the
+// figure end to end and reports its headline metric via ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction run.
+
+import (
+	"strconv"
+	"testing"
+
+	"pooldcs/internal/dim"
+	"pooldcs/internal/event"
+	"pooldcs/internal/experiment"
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/wire"
+	"pooldcs/internal/workload"
+)
+
+// benchConfig keeps figure benchmarks affordable per iteration while
+// using the paper's network sizes.
+func benchConfig() experiment.Config {
+	cfg := experiment.Default()
+	cfg.Queries = 25
+	return cfg
+}
+
+// lastRowMetric extracts column col of the last table row as a float.
+func lastRowMetric(b *testing.B, res *experiment.Result, col int) float64 {
+	b.Helper()
+	rows := res.Table.Rows
+	if len(rows) == 0 {
+		b.Fatal("no rows")
+	}
+	v, err := strconv.ParseFloat(rows[len(rows)-1][col], 64)
+	if err != nil {
+		b.Fatalf("bad cell: %v", err)
+	}
+	return v
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig6(cfg, workload.UniformSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "dim-msgs/query")
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig6(cfg, workload.ExponentialSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "dim-msgs/query")
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig7a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "dim-msgs/query")
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig7b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "dim-msgs/query")
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkInsertCostTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.InsertCost(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "dim-msgs/event")
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/event")
+	}
+}
+
+func BenchmarkHotspotTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Hotspot(cfg, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "shared-max-load")
+	}
+}
+
+func BenchmarkPoolSizeTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.PoolSize(cfg, []int{5, 10, 15, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkPointQueryTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.PointQuery(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-msgs/query")
+	}
+}
+
+func BenchmarkAggregatesTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Aggregates(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func benchEnv(b *testing.B, n int) *experiment.Env {
+	b.Helper()
+	env, err := experiment.NewEnv(n, 3, rng.New(1234))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func BenchmarkPoolInsert(b *testing.B) {
+	env := benchEnv(b, 900)
+	gen := workload.NewUniformEvents(rng.New(5), 3)
+	origin := rng.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.Pool.Insert(origin.Intn(900), gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDIMInsert(b *testing.B) {
+	env := benchEnv(b, 900)
+	gen := workload.NewUniformEvents(rng.New(5), 3)
+	origin := rng.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.DIM.Insert(origin.Intn(900), gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolQuery(b *testing.B) {
+	env := benchEnv(b, 900)
+	gen := workload.NewUniformEvents(rng.New(5), 3)
+	for i := 0; i < 2700; i++ {
+		if err := env.Pool.Insert(i%900, gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	qgen := workload.NewQueries(rng.New(7), 3)
+	sink := rng.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Pool.Query(sink.Intn(900), qgen.ExactMatch(workload.ExponentialSizes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDIMQuery(b *testing.B) {
+	env := benchEnv(b, 900)
+	gen := workload.NewUniformEvents(rng.New(5), 3)
+	for i := 0; i < 2700; i++ {
+		if err := env.DIM.Insert(i%900, gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	qgen := workload.NewQueries(rng.New(7), 3)
+	sink := rng.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.DIM.Query(sink.Intn(900), qgen.ExactMatch(workload.ExponentialSizes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPSRRoute(b *testing.B) {
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := gpsr.New(layout)
+	src := rng.New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := geo.Pt(src.Uniform(0, layout.Side), src.Uniform(0, layout.Side))
+		if _, err := router.Route(src.Intn(900), target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGabrielPlanarization(b *testing.B) {
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpsr.New(layout)
+	}
+}
+
+func BenchmarkPoolResolve(b *testing.B) {
+	p := pool.Pool{Dim: 1, Pivot: pool.CellID{X: 1, Y: 2}, Side: 10}
+	qgen := workload.NewQueries(rng.New(12), 3)
+	queries := make([]event.Query, 64)
+	for i := range queries {
+		queries[i] = qgen.ExactMatch(workload.UniformSizes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RelevantCells(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkDIMRelevantZones(b *testing.B) {
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dim.New(network.New(layout), gpsr.New(layout), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qgen := workload.NewQueries(rng.New(14), 3)
+	queries := make([]event.Query, 64)
+	for i := range queries {
+		queries[i] = qgen.ExactMatch(workload.UniformSizes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RelevantZones(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkTheorem31InsertCell(b *testing.B) {
+	p := pool.Pool{Dim: 1, Pivot: pool.CellID{X: 1, Y: 2}, Side: 10}
+	src := rng.New(15)
+	vals := make([][2]float64, 256)
+	for i := range vals {
+		v1 := src.Float64()
+		vals[i] = [2]float64{v1, src.Float64() * v1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vals[i%len(vals)]
+		p.InsertCell(v[0], v[1])
+	}
+}
+
+func BenchmarkFieldNearest(b *testing.B) {
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layout.Nearest(geo.Pt(src.Uniform(0, layout.Side), src.Uniform(0, layout.Side)))
+	}
+}
+
+func BenchmarkEnergyTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Energy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 3), "pool-energy-gini")
+	}
+}
+
+func BenchmarkFragmentationTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fragmentation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisseminationTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Dissemination(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 3), "pool-msgs/query")
+	}
+}
+
+func BenchmarkResilienceTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Resilience(cfg, []int{10, 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 2), "replicated-recall")
+	}
+}
+
+func BenchmarkPoolNearest(b *testing.B) {
+	env := benchEnv(b, 900)
+	gen := workload.NewUniformEvents(rng.New(20), 3)
+	for i := 0; i < 2700; i++ {
+		if err := env.Pool.Insert(i%900, gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	src := rng.New(21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		point := []float64{src.Float64(), src.Float64(), src.Float64()}
+		if _, err := env.Pool.Nearest(src.Intn(900), point, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	e := event.Event{Seq: 42, Values: []float64{0.4, 0.3, 0.1}}
+	buf := make([]byte, 0, wire.EventSize(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendEvent(buf[:0], e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	e := event.Event{Seq: 42, Values: []float64{0.4, 0.3, 0.1}}
+	buf, err := wire.AppendEvent(nil, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.DecodeEvent(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDimSweepTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.DimSweep(cfg, []int{2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 4), "pool-1partial-msgs")
+	}
+}
+
+func BenchmarkVarianceTable(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NetworkSizes = []int{300, 600}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Variance(cfg, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 3), "pool-msgs/query")
+	}
+}
+
+func BenchmarkPlacementTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Placement(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-clustered-msgs")
+	}
+}
+
+func BenchmarkEventLoadTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.EventLoad(cfg, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 4), "pool-reply-msgs")
+	}
+}
+
+func BenchmarkLatencyTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Latency(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 3), "pool-latency-hops")
+	}
+}
+
+func BenchmarkSimulationFacade(b *testing.B) {
+	sim, err := NewSimulation(Config{Nodes: 300, Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Insert(src.Intn(300), src.Float64(), src.Float64(), src.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsyncLatencyTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AsyncLatency(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 1), "pool-2partial-ms")
+	}
+}
+
+func BenchmarkLossyTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Lossy(cfg, []float64{0, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, res, 2), "pool-frames/query")
+	}
+}

@@ -1,0 +1,165 @@
+// Command poolsim regenerates the paper's evaluation figures and this
+// repository's ablations from the command line.
+//
+// Usage:
+//
+//	poolsim [flags] <experiment>...
+//
+// Experiments: fig6a, fig6b, fig7a, fig7b, insert, hotspot, poolsize,
+// pointquery, aggregate, energy, fragmentation, dissemination,
+// resilience, dimsweep, variance, placement, eventload, latency,
+// asynclatency, lossy, all.
+//
+// Flags:
+//
+//	-seed N      random seed (default 42)
+//	-queries N   queries per data point (default 100)
+//	-sizes LIST  comma-separated network sizes for the fig6 sweeps
+//	-quick       fewer queries, smaller sweep (smoke run)
+//	-format F    text | csv | markdown (default text)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pooldcs/internal/experiment"
+	"pooldcs/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "poolsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runner executes one named experiment under a config.
+type runner func(cfg experiment.Config) (*experiment.Result, error)
+
+var experiments = map[string]runner{
+	"fig6a": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Fig6(cfg, workload.UniformSizes)
+	},
+	"fig6b": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Fig6(cfg, workload.ExponentialSizes)
+	},
+	"fig7a":  experiment.Fig7a,
+	"fig7b":  experiment.Fig7b,
+	"insert": experiment.InsertCost,
+	"hotspot": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Hotspot(cfg, 20)
+	},
+	"poolsize": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.PoolSize(cfg, []int{5, 10, 15, 20})
+	},
+	"pointquery":    experiment.PointQuery,
+	"aggregate":     experiment.Aggregates,
+	"energy":        experiment.Energy,
+	"dissemination": experiment.Dissemination,
+	"dimsweep": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.DimSweep(cfg, []int{2, 3, 4, 5})
+	},
+	"variance": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Variance(cfg, 5)
+	},
+	"placement": experiment.Placement,
+	"eventload": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.EventLoad(cfg, []int{1, 3, 6, 10})
+	},
+	"latency":      experiment.Latency,
+	"asynclatency": experiment.AsyncLatency,
+	"lossy": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Lossy(cfg, []float64{0, 0.1, 0.2, 0.3})
+	},
+	"resilience": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Resilience(cfg, []int{5, 10, 20, 30})
+	},
+	"fragmentation": experiment.Fragmentation,
+}
+
+// order lists the experiments in report order for "all".
+var order = []string{
+	"fig6a", "fig6b", "fig7a", "fig7b",
+	"insert", "hotspot", "poolsize", "pointquery", "aggregate",
+	"energy", "fragmentation", "dissemination", "resilience", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("poolsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "random seed")
+	queries := fs.Int("queries", 100, "queries per data point")
+	sizes := fs.String("sizes", "", "comma-separated network sizes for the fig6 sweeps (default 300,600,900,1200)")
+	quick := fs.Bool("quick", false, "smoke run: fewer queries per point")
+	format := fs.String("format", "text", "output format: text, csv, or markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf("no experiment given; choose from: %s, all", strings.Join(order, ", "))
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = order
+	}
+
+	cfg := experiment.Default()
+	if *quick {
+		cfg = experiment.Quick()
+	}
+	cfg.Seed = *seed
+	if !*quick {
+		cfg.Queries = *queries
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		cfg.NetworkSizes = parsed
+	}
+
+	for _, name := range names {
+		r, ok := experiments[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; choose from: %s, all", name, strings.Join(order, ", "))
+		}
+		res, err := r(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		switch *format {
+		case "text":
+			fmt.Fprintln(out, res.Table.String())
+		case "csv":
+			fmt.Fprintf(out, "# %s\n%s\n", res.Title, res.Table.CSV())
+		case "markdown":
+			fmt.Fprintf(out, "### %s\n\n%s\n", res.Title, res.Table.Markdown())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}
+
+// parseSizes parses a comma-separated list of positive network sizes.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad network size %q: %w", part, err)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("network size %d too small", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

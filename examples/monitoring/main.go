@@ -1,0 +1,91 @@
+// Monitoring: the paper's §6 extensions in action — continuous queries
+// that push matching events to a sink as they are sensed, and
+// nearest-neighbour queries over the stored data. A control room
+// subscribes to "freezer out of range" alerts while sensors stream
+// readings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pooldcs"
+	"pooldcs/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim, err := pooldcs.NewSimulation(pooldcs.Config{Nodes: 400, Seed: 11})
+	if err != nil {
+		return err
+	}
+	const controlRoom = 0
+
+	// Standing alert: attribute 1 (normalized freezer temperature) drifts
+	// above 0.7 — regardless of the other attributes.
+	alert, err := sim.Subscribe(controlRoom,
+		pooldcs.Span(0.7, 1), pooldcs.Wildcard(), pooldcs.Wildcard())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("control room (node %d) subscribed: temp ≥ 0.7 (subscription %d)\n",
+		controlRoom, alert.ID)
+
+	// Sensors stream readings; most are nominal, a few are hot.
+	src := rng.New(12)
+	hot := 0
+	for i := 0; i < 1000; i++ {
+		temp := src.Float64() * 0.69 // nominal
+		if src.Bool(0.02) {
+			temp = 0.7 + src.Float64()*0.29 // fault
+			hot++
+		}
+		if _, err := sim.Insert(src.Intn(sim.Nodes()), temp, src.Float64(), src.Float64()); err != nil {
+			return err
+		}
+	}
+
+	notes := sim.Notifications()
+	fmt.Printf("streamed 1000 readings (%d faults injected) → %d alerts pushed\n", hot, len(notes))
+	if len(notes) != hot {
+		return fmt.Errorf("alert mismatch: %d faults but %d alerts", hot, len(notes))
+	}
+	for i, n := range notes {
+		if i >= 3 {
+			fmt.Printf("  … and %d more\n", len(notes)-3)
+			break
+		}
+		fmt.Printf("  alert: event %d %v\n", n.Event.Seq, n.Event)
+	}
+
+	// After the shift, the operator looks for readings most similar to a
+	// suspicious profile.
+	profile := []float64{0.75, 0.2, 0.5}
+	similar, err := sim.Nearest(controlRoom, profile, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3 readings most similar to profile %v:\n", profile)
+	for _, e := range similar {
+		fmt.Printf("  %v\n", e)
+	}
+
+	// Unsubscribe: no further pushes.
+	if err := sim.Unsubscribe(alert); err != nil {
+		return err
+	}
+	if _, err := sim.Insert(1, 0.95, 0.5, 0.5); err != nil {
+		return err
+	}
+	if after := sim.Notifications(); len(after) != 0 {
+		return fmt.Errorf("received %d alerts after unsubscribing", len(after))
+	}
+	fmt.Println("unsubscribed; no further alerts")
+	fmt.Printf("total radio messages: %d\n", sim.Messages())
+	return nil
+}

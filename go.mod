@@ -1,0 +1,3 @@
+module pooldcs
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package dcs defines the interface shared by the data-centric storage
+// schemes in this repository (Pool, DIM, GHT) along with the cost-model
+// helpers they have in common.
+//
+// A DCS system stores events detected anywhere in the network at
+// deterministic rendezvous nodes and answers queries by visiting only
+// those nodes. The paper's comparison metric — messages exchanged while
+// inserting events and answering queries — is captured by the network
+// counters; the helpers here charge routed unicasts hop by hop so every
+// scheme is accounted identically.
+package dcs
+
+import (
+	"errors"
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+)
+
+// System is a data-centric storage scheme running over a sensor network.
+type System interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Insert stores an event detected at node origin.
+	Insert(origin int, e event.Event) error
+	// Query resolves q from the sink node and returns the matching events.
+	Query(sink int, q event.Query) ([]event.Event, error)
+}
+
+// StorageReporter is implemented by systems that can report per-node
+// storage occupancy, which the hotspot experiments inspect.
+type StorageReporter interface {
+	// StorageLoad returns the number of events stored at each node,
+	// indexed by node ID.
+	StorageLoad() []int
+}
+
+// Payload sizes in bytes for the cost model. One attribute value is eight
+// bytes; headers cover sequence numbers and routing state.
+const (
+	headerBytes    = 16
+	perValueBytes  = 8
+	perRangeBytes  = 16 // lower and upper bound
+	ackPayloadSize = headerBytes
+)
+
+// EventBytes returns the payload size of one k-dimensional event.
+func EventBytes(k int) int { return headerBytes + k*perValueBytes }
+
+// QueryBytes returns the payload size of a k-dimensional query.
+func QueryBytes(k int) int { return headerBytes + k*perRangeBytes }
+
+// ReplyBytes returns the payload size of a reply carrying n k-dimensional
+// events. An empty reply is a bare acknowledgement.
+func ReplyBytes(k, n int) int {
+	if n == 0 {
+		return ackPayloadSize
+	}
+	return headerBytes + n*k*perValueBytes
+}
+
+// maxRetransmissions bounds per-hop link-layer retries on lossy links.
+const maxRetransmissions = 16
+
+// Unicast routes a payload from one node to another with GPSR, charging
+// one transmission per hop to the network counters. On lossy links each
+// hop retransmits until the frame gets through (ARQ), so every attempt is
+// paid for. It returns the number of transmissions performed.
+func Unicast(net *network.Network, router *gpsr.Router, from, to int, kind network.Kind, payloadBytes int) (int, error) {
+	if from == to {
+		return 0, nil
+	}
+	res, err := router.RouteToNode(from, to)
+	if err != nil {
+		return 0, fmt.Errorf("dcs: unicast %d→%d: %w", from, to, err)
+	}
+	sent := 0
+	for i := 1; i < len(res.Path); i++ {
+		if n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes); err != nil {
+			return sent + n, fmt.Errorf("dcs: unicast %d→%d at hop %d: %w", from, to, i, err)
+		} else {
+			sent += n
+		}
+	}
+	return sent, nil
+}
+
+// transmitARQ performs one logical hop with link-layer retransmission,
+// returning the number of frames actually sent.
+func transmitARQ(net *network.Network, from, to int, kind network.Kind, payloadBytes int) (int, error) {
+	for attempt := 1; ; attempt++ {
+		err := net.Transmit(from, to, kind, payloadBytes)
+		if err == nil {
+			return attempt, nil
+		}
+		if !errors.Is(err, network.ErrFrameLost) {
+			return attempt, err
+		}
+		if attempt >= maxRetransmissions {
+			return attempt, fmt.Errorf("dcs: hop %d→%d dropped after %d attempts: %w",
+				from, to, attempt, err)
+		}
+	}
+}
+
+// GeoUnicast routes a payload from a node toward a geographic target,
+// charging one transmission per hop, and returns the home node that
+// consumed the packet along with the hop count.
+func GeoUnicast(net *network.Network, router *gpsr.Router, from int, target geo.Point, kind network.Kind, payloadBytes int) (home, hops int, err error) {
+	res, err := router.Route(from, target)
+	if err != nil {
+		return -1, 0, fmt.Errorf("dcs: geounicast from %d to %v: %w", from, target, err)
+	}
+	sent := 0
+	for i := 1; i < len(res.Path); i++ {
+		n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes)
+		sent += n
+		if err != nil {
+			return res.Home, sent, fmt.Errorf("dcs: geounicast from %d at hop %d: %w", from, i, err)
+		}
+	}
+	return res.Home, sent, nil
+}
+
+// CostReport summarizes the traffic attributable to one operation or one
+// batch of operations.
+type CostReport struct {
+	// Messages is the total number of radio transmissions.
+	Messages uint64
+	// QueryMessages and ReplyMessages split query-time traffic.
+	QueryMessages uint64
+	ReplyMessages uint64
+	// InsertMessages counts storage traffic.
+	InsertMessages uint64
+	// EnergyJ is the radio energy spent in joules.
+	EnergyJ float64
+}
+
+// Report converts a network counter diff into a CostReport.
+func Report(diff network.Counters) CostReport {
+	return CostReport{
+		Messages:       diff.Total(),
+		QueryMessages:  diff.Messages[network.KindQuery],
+		ReplyMessages:  diff.Messages[network.KindReply],
+		InsertMessages: diff.Messages[network.KindInsert],
+		EnergyJ:        diff.EnergyJ,
+	}
+}

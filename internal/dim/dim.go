@@ -1,0 +1,407 @@
+package dim
+
+import (
+	"fmt"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+)
+
+// Zone is one leaf of DIM's spatial subdivision.
+type Zone struct {
+	// Code is the zone's binary code.
+	Code Code
+	// Rect is the geographic region the zone covers.
+	Rect geo.Rect
+	// Owner is the node responsible for the zone: the node inside it, or —
+	// for node-free zones — the node nearest the zone centre (DIM's backup
+	// ownership of empty zones).
+	Owner int
+}
+
+// treeNode is a node of the zone code tree. Leaves reference a zone.
+type treeNode struct {
+	zone     int // index into System.zones, -1 for internal nodes
+	children [2]*treeNode
+}
+
+// Dissemination selects how a query reaches its relevant zones.
+type Dissemination int
+
+// Dissemination strategies.
+const (
+	// ChainDissemination forwards the query through the relevant zones in
+	// code order; consecutive zones are spatially adjacent under the k-d
+	// subdivision, so the chain's links are short. This is the default
+	// and the cheaper model for DIM.
+	ChainDissemination Dissemination = iota + 1
+	// SplitDissemination models the DIM paper's recursive query
+	// splitting: the query packet routes toward the nearest relevant
+	// subregion and forks a subquery for the sibling region at each
+	// subtree boundary it enters.
+	SplitDissemination
+)
+
+// String implements fmt.Stringer.
+func (d Dissemination) String() string {
+	switch d {
+	case ChainDissemination:
+		return "chain"
+	case SplitDissemination:
+		return "split"
+	default:
+		return fmt.Sprintf("Dissemination(%d)", int(d))
+	}
+}
+
+// Option configures New.
+type Option interface {
+	apply(*System)
+}
+
+type optionFunc func(*System)
+
+func (f optionFunc) apply(s *System) { f(s) }
+
+// WithDissemination selects the query dissemination strategy.
+func WithDissemination(d Dissemination) Option {
+	return optionFunc(func(s *System) { s.dissemination = d })
+}
+
+// System is a DIM instance over one network.
+type System struct {
+	net    *network.Network
+	router *gpsr.Router
+	dims   int
+
+	zones    []Zone
+	root     *treeNode
+	maxDepth int
+
+	dissemination Dissemination
+
+	// storage holds the events stored at each node.
+	storage [][]event.Event
+}
+
+var _ dcs.System = (*System)(nil)
+var _ dcs.StorageReporter = (*System)(nil)
+
+// New builds the DIM zone structure over the network's deployment for
+// events of the given dimensionality.
+func New(net *network.Network, router *gpsr.Router, dims int, opts ...Option) (*System, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("dim: dimensionality must be ≥ 1, got %d", dims)
+	}
+	s := &System{
+		net:           net,
+		router:        router,
+		dims:          dims,
+		dissemination: ChainDissemination,
+		storage:       make([][]event.Event, net.Layout().N()),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	s.buildZones()
+	return s, nil
+}
+
+// Name implements dcs.System.
+func (s *System) Name() string { return "DIM" }
+
+// Dims returns the event dimensionality the index was built for.
+func (s *System) Dims() int { return s.dims }
+
+// Zones returns the zone table, sorted by code (in-order tree traversal),
+// reproducing the paper's Figure 1(b) layout. The slice is owned by the
+// system.
+func (s *System) Zones() []Zone { return s.zones }
+
+// buildZones recursively bisects the field until every zone holds at most
+// one node, then assigns node-free zones to the node nearest their centre.
+func (s *System) buildZones() {
+	l := s.net.Layout()
+	all := make([]int, l.N())
+	for i := range all {
+		all[i] = i
+	}
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(l.Side, l.Side)}
+	s.root = s.split(Code{}, bounds, all, l)
+	// The DFS in split appends leaves child-0-first, so zones are already
+	// in code order — the spatially coherent traversal order Query uses.
+	for _, z := range s.zones {
+		if z.Code.Len() > s.maxDepth {
+			s.maxDepth = z.Code.Len()
+		}
+	}
+}
+
+func (s *System) split(code Code, rect geo.Rect, nodes []int, l *field.Layout) *treeNode {
+	if len(nodes) <= 1 || code.Len() >= maxCodeBits {
+		owner := -1
+		if len(nodes) >= 1 {
+			owner = nodes[0]
+		} else {
+			owner = l.Nearest(rect.Center())
+		}
+		s.zones = append(s.zones, Zone{Code: code, Rect: rect, Owner: owner})
+		return &treeNode{zone: len(s.zones) - 1}
+	}
+	var lo, hi geo.Rect
+	if code.Len()%2 == 0 {
+		lo, hi = rect.SplitVertical()
+	} else {
+		lo, hi = rect.SplitHorizontal()
+	}
+	var loNodes, hiNodes []int
+	for _, n := range nodes {
+		// Half-open rectangles tile the plane, so each node lands in
+		// exactly one child.
+		if lo.Contains(l.Pos(n)) {
+			loNodes = append(loNodes, n)
+		} else {
+			hiNodes = append(hiNodes, n)
+		}
+	}
+	t := &treeNode{zone: -1}
+	t.children[0] = s.split(code.Append(0), lo, loNodes, l)
+	t.children[1] = s.split(code.Append(1), hi, hiNodes, l)
+	return t
+}
+
+// ZoneOf returns the zone an event's values map to under the
+// locality-preserving hash.
+func (s *System) ZoneOf(values []float64) Zone {
+	code := EventCode(values, s.maxDepth)
+	t := s.root
+	depth := 0
+	for t.zone < 0 {
+		t = t.children[code.Bit(depth)]
+		depth++
+	}
+	return s.zones[t.zone]
+}
+
+// Insert implements dcs.System: the event is routed toward its zone and
+// stored at the zone's owner.
+func (s *System) Insert(origin int, e event.Event) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("dim: %w", err)
+	}
+	if e.Dims() != s.dims {
+		return fmt.Errorf("dim: event has %d dims, index built for %d", e.Dims(), s.dims)
+	}
+	z := s.ZoneOf(e.Values)
+	payload := dcs.EventBytes(s.dims)
+	// The event is routed geographically toward the zone and consumed by
+	// the zone's owner on arrival (a node inside its zone recognizes the
+	// code and keeps the event; no home-node probe is needed).
+	if _, err := dcs.Unicast(s.net, s.router, origin, z.Owner, network.KindInsert, payload); err != nil {
+		return fmt.Errorf("dim: insert: %w", err)
+	}
+	s.storage[z.Owner] = append(s.storage[z.Owner], e)
+	return nil
+}
+
+// RelevantZones returns the zones whose value regions overlap the
+// (rewritten) query — the zones DIM must visit.
+func (s *System) RelevantZones(q event.Query) []Zone {
+	q = q.Rewrite()
+	region := make([]geo.Interval, s.dims)
+	for j := range region {
+		region[j] = geo.Iv(0, 1)
+	}
+	var out []Zone
+	s.collect(s.root, 0, region, q, &out)
+	return out
+}
+
+func (s *System) collect(t *treeNode, depth int, region []geo.Interval, q event.Query, out *[]Zone) {
+	if t.zone >= 0 {
+		*out = append(*out, s.zones[t.zone])
+		return
+	}
+	j := depth % s.dims
+	mid := (region[j].Lo + region[j].Hi) / 2
+	r := q.Ranges[j]
+	// Child 0 covers values in [lo, mid); child 1 covers [mid, hi).
+	if r.L < mid {
+		saved := region[j]
+		region[j] = geo.Iv(saved.Lo, mid)
+		s.collect(t.children[0], depth+1, region, q, out)
+		region[j] = saved
+	}
+	if r.U >= mid {
+		saved := region[j]
+		region[j] = geo.Iv(mid, saved.Hi)
+		s.collect(t.children[1], depth+1, region, q, out)
+		region[j] = saved
+	}
+}
+
+// Query implements dcs.System: the query is disseminated to every
+// relevant zone (strategy per WithDissemination) and every owner holding
+// qualifying events replies to the sink.
+func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("dim: %w", err)
+	}
+	if q.Dims() != s.dims {
+		return nil, fmt.Errorf("dim: query has %d dims, index built for %d", q.Dims(), s.dims)
+	}
+	rq := q.Rewrite()
+	qBytes := dcs.QueryBytes(s.dims)
+
+	var owners []int
+	var err error
+	switch s.dissemination {
+	case SplitDissemination:
+		owners, err = s.disseminateSplit(sink, rq, qBytes)
+	default:
+		owners, err = s.disseminateChain(sink, rq, qBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var results []event.Event
+	// A node may own several relevant zones (backup ownership of empty
+	// zones); its storage is scanned and answered only once.
+	answered := make(map[int]bool, len(owners))
+	for _, owner := range owners {
+		if answered[owner] {
+			continue
+		}
+		answered[owner] = true
+		matches := rq.Filter(s.storage[owner])
+		if len(matches) > 0 {
+			results = append(results, matches...)
+			if _, err := dcs.Unicast(s.net, s.router, owner, sink, network.KindReply,
+				dcs.ReplyBytes(s.dims, len(matches))); err != nil {
+				return nil, fmt.Errorf("dim: reply: %w", err)
+			}
+		}
+	}
+	return results, nil
+}
+
+// disseminateChain forwards the query through the relevant zones in code
+// order, returning the visited owners.
+func (s *System) disseminateChain(sink int, rq event.Query, qBytes int) ([]int, error) {
+	zones := s.RelevantZones(rq)
+	owners := make([]int, 0, len(zones))
+	cur := sink
+	for _, z := range zones {
+		if z.Owner != cur {
+			if _, err := dcs.Unicast(s.net, s.router, cur, z.Owner, network.KindQuery, qBytes); err != nil {
+				return nil, fmt.Errorf("dim: query forward: %w", err)
+			}
+			cur = z.Owner
+		}
+		owners = append(owners, z.Owner)
+	}
+	return owners, nil
+}
+
+// disseminateSplit walks the zone tree: the packet routes from its
+// carrier toward the nearest relevant child region; on entering a region
+// whose sibling is also relevant, the entry node forks a subquery for the
+// sibling. Returns the visited owners.
+func (s *System) disseminateSplit(sink int, rq event.Query, qBytes int) ([]int, error) {
+	region := make([]geo.Interval, s.dims)
+	for j := range region {
+		region[j] = geo.Iv(0, 1)
+	}
+	var owners []int
+	_, err := s.splitWalk(sink, s.root, 0, region, rq, qBytes, &owners)
+	if err != nil {
+		return nil, err
+	}
+	return owners, nil
+}
+
+// splitWalk recursively disseminates the query under t, returning the
+// entry node (the first owner reached in this subtree), or -1 when no
+// zone under t is relevant.
+func (s *System) splitWalk(carrier int, t *treeNode, depth int, region []geo.Interval, rq event.Query, qBytes int, owners *[]int) (int, error) {
+	if t.zone >= 0 {
+		z := s.zones[t.zone]
+		if z.Owner != carrier {
+			if _, err := dcs.Unicast(s.net, s.router, carrier, z.Owner, network.KindQuery, qBytes); err != nil {
+				return -1, fmt.Errorf("dim: split forward: %w", err)
+			}
+		}
+		*owners = append(*owners, z.Owner)
+		return z.Owner, nil
+	}
+
+	j := depth % s.dims
+	mid := (region[j].Lo + region[j].Hi) / 2
+	r := rq.Ranges[j]
+	type child struct {
+		node   *treeNode
+		iv     geo.Interval
+		center geo.Point
+	}
+	var children []child
+	if r.L < mid {
+		children = append(children, child{node: t.children[0], iv: geo.Iv(region[j].Lo, mid)})
+	}
+	if r.U >= mid {
+		children = append(children, child{node: t.children[1], iv: geo.Iv(mid, region[j].Hi)})
+	}
+	if len(children) == 0 {
+		return -1, nil
+	}
+	for i := range children {
+		children[i].center = s.subtreeCenter(children[i].node)
+	}
+	// Enter the nearer region first; the sibling's subquery departs from
+	// that region's entry node.
+	if len(children) == 2 {
+		here := s.net.Layout().Pos(carrier)
+		if here.Dist2(children[1].center) < here.Dist2(children[0].center) {
+			children[0], children[1] = children[1], children[0]
+		}
+	}
+	entry := -1
+	cur := carrier
+	for _, c := range children {
+		saved := region[j]
+		region[j] = c.iv
+		e, err := s.splitWalk(cur, c.node, depth+1, region, rq, qBytes, owners)
+		region[j] = saved
+		if err != nil {
+			return -1, err
+		}
+		if e >= 0 && entry < 0 {
+			entry = e
+			cur = e
+		}
+	}
+	return entry, nil
+}
+
+// subtreeCenter returns the geographic centre of the region a subtree
+// covers (the centre of its leftmost zone's enclosing rect level is not
+// tracked, so use the first zone's rect as an anchor).
+func (s *System) subtreeCenter(t *treeNode) geo.Point {
+	for t.zone < 0 {
+		t = t.children[0]
+	}
+	return s.zones[t.zone].Rect.Center()
+}
+
+// StorageLoad implements dcs.StorageReporter.
+func (s *System) StorageLoad() []int {
+	out := make([]int, len(s.storage))
+	for i, evs := range s.storage {
+		out[i] = len(evs)
+	}
+	return out
+}

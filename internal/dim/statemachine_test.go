@@ -1,0 +1,93 @@
+package dim
+
+import (
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+)
+
+// TestDIMAgainstOracle drives DIM with random inserts and queries (both
+// dissemination modes, several dimensionalities) and compares every
+// result set against a flat in-memory oracle.
+func TestDIMAgainstOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		dims int
+		mode Dissemination
+	}{
+		{"k2-chain", 2, ChainDissemination},
+		{"k3-chain", 3, ChainDissemination},
+		{"k3-split", 3, SplitDissemination},
+		{"k4-split", 4, SplitDissemination},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			l, err := field.Generate(field.DefaultSpec(300), rng.New(700))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(network.New(l), gpsr.New(l), tc.dims, WithDissemination(tc.mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			src := rng.New(701)
+			oracle := make(map[uint64]event.Event)
+			var nextSeq uint64
+			for op := 0; op < 500; op++ {
+				if src.Bool(0.6) { // insert
+					nextSeq++
+					vals := make([]float64, tc.dims)
+					for i := range vals {
+						vals[i] = src.Float64()
+					}
+					e := event.Event{Values: vals, Seq: nextSeq}
+					if err := s.Insert(src.Intn(300), e); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					oracle[e.Seq] = e
+					continue
+				}
+				// query
+				ranges := make([]event.Range, tc.dims)
+				for i := range ranges {
+					if src.Bool(0.3) {
+						ranges[i] = event.Unspecified()
+						continue
+					}
+					lo := src.Float64() * 0.8
+					ranges[i] = event.Span(lo, lo+src.Float64()*(1-lo))
+				}
+				q := event.NewQuery(ranges...)
+				if q.Unspecified() == tc.dims {
+					q.Ranges[0] = event.Span(0, 1)
+				}
+				got, err := s.Query(src.Intn(300), q)
+				if err != nil {
+					t.Fatalf("op %d query %v: %v", op, q, err)
+				}
+				rq := q.Rewrite()
+				want := make(map[uint64]bool)
+				for seq, e := range oracle {
+					if rq.Matches(e) {
+						want[seq] = true
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("op %d query %v: got %d, oracle %d", op, q, len(got), len(want))
+				}
+				for _, e := range got {
+					if !want[e.Seq] {
+						t.Fatalf("op %d query %v: spurious event %d", op, q, e.Seq)
+					}
+				}
+			}
+		})
+	}
+}

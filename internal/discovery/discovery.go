@@ -1,0 +1,157 @@
+// Package discovery implements the beacon protocol the paper assumes as
+// infrastructure (§2: "each node maintains a neighbor table via periodic
+// exchange of beacon messages").
+//
+// Every node broadcasts a beacon once per interval (with per-node jitter
+// to avoid synchronized collisions); receivers record the sender with a
+// timestamp. A neighbour that misses several consecutive beacons is
+// evicted, which is how node failures become visible to the routing
+// layer. The protocol runs on the deterministic discrete-event kernel, so
+// convergence is reproducible and testable against the oracle neighbour
+// tables of the deployment.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// Interval between a node's beacons (default 1 s).
+	Interval time.Duration
+	// Jitter is the maximum random offset added to each beacon (default
+	// Interval/4); it desynchronizes the nodes.
+	Jitter time.Duration
+	// MissLimit is how many consecutive missed beacons evict a neighbour
+	// (default 3).
+	MissLimit int
+	// PayloadBytes is the beacon frame size (default 16: node id +
+	// coordinates).
+	PayloadBytes int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = c.Interval / 4
+	}
+	if c.MissLimit == 0 {
+		c.MissLimit = 3
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 16
+	}
+}
+
+// Protocol is a running beacon exchange.
+type Protocol struct {
+	cfg   Config
+	net   *network.Network
+	sched *sim.Scheduler
+	src   *rng.Source
+
+	// lastHeard[a][b] is when a last received b's beacon.
+	lastHeard []map[int]time.Duration
+	// failed marks nodes that have stopped beaconing.
+	failed []bool
+	// stop ends the beacon loops.
+	stopped bool
+}
+
+// New prepares the protocol over a network and scheduler.
+func New(net *network.Network, sched *sim.Scheduler, src *rng.Source, cfg Config) *Protocol {
+	cfg.applyDefaults()
+	n := net.Layout().N()
+	p := &Protocol{
+		cfg:       cfg,
+		net:       net,
+		sched:     sched,
+		src:       src,
+		lastHeard: make([]map[int]time.Duration, n),
+		failed:    make([]bool, n),
+	}
+	for i := range p.lastHeard {
+		p.lastHeard[i] = make(map[int]time.Duration)
+	}
+	return p
+}
+
+// Start schedules the first beacon of every node. Call sched.RunUntil to
+// advance the protocol.
+func (p *Protocol) Start() {
+	for id := 0; id < p.net.Layout().N(); id++ {
+		id := id
+		offset := time.Duration(p.src.Int63() % int64(p.cfg.Jitter+1))
+		p.sched.After(offset, func() { p.beacon(id) })
+	}
+}
+
+// Stop ends all beacon loops (pending events become no-ops).
+func (p *Protocol) Stop() { p.stopped = true }
+
+// Fail silences a node: it stops beaconing (and, in a real system, stops
+// forwarding). Its neighbours evict it after MissLimit intervals.
+func (p *Protocol) Fail(id int) { p.failed[id] = true }
+
+// beacon broadcasts once and reschedules.
+func (p *Protocol) beacon(id int) {
+	if p.stopped || p.failed[id] {
+		return
+	}
+	now := p.sched.Now()
+	for _, nbr := range p.net.Broadcast(id, network.KindControl, p.cfg.PayloadBytes) {
+		p.lastHeard[nbr][id] = now
+	}
+	jitter := time.Duration(p.src.Int63() % int64(p.cfg.Jitter+1))
+	p.sched.After(p.cfg.Interval+jitter-p.cfg.Jitter/2, func() { p.beacon(id) })
+}
+
+// Neighbors returns the node's current neighbour table: every node heard
+// within MissLimit intervals (plus jitter slack), sorted ascending.
+func (p *Protocol) Neighbors(id int) []int {
+	deadline := p.sched.Now() - time.Duration(p.cfg.MissLimit)*(p.cfg.Interval+p.cfg.Jitter)
+	var out []int
+	for nbr, heard := range p.lastHeard[id] {
+		if heard >= deadline {
+			out = append(out, nbr)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Converged reports whether every live node's discovered table equals the
+// oracle table of the deployment restricted to live nodes, returning a
+// description of the first divergence otherwise.
+func (p *Protocol) Converged() (bool, string) {
+	layout := p.net.Layout()
+	for id := 0; id < layout.N(); id++ {
+		if p.failed[id] {
+			continue
+		}
+		want := make([]int, 0, len(layout.Neighbors(id)))
+		for _, nbr := range layout.Neighbors(id) {
+			if !p.failed[nbr] {
+				want = append(want, nbr)
+			}
+		}
+		got := p.Neighbors(id)
+		if len(got) != len(want) {
+			return false, fmt.Sprintf("node %d: discovered %v, oracle %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false, fmt.Sprintf("node %d: discovered %v, oracle %v", id, got, want)
+			}
+		}
+	}
+	return true, ""
+}

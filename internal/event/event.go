@@ -1,0 +1,303 @@
+// Package event defines the multi-dimensional events and queries of the
+// paper's data model (§2).
+//
+// An event is a vector of k normalized attribute values in [0, 1). A query
+// is a vector of per-attribute closed ranges; partial-match queries leave
+// some attributes unspecified and are rewritten to full-range queries
+// before processing, exactly as §2 prescribes.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Event is a k-dimensional sensor reading. Values are normalized attribute
+// readings in [0, 1).
+type Event struct {
+	// Values holds one normalized reading per attribute.
+	Values []float64
+	// Seq is a network-unique identifier assigned at detection time. It
+	// lets storage layers deduplicate and lets tests track individual
+	// events through the system.
+	Seq uint64
+}
+
+// New returns an Event over the given values with Seq zero.
+func New(values ...float64) Event {
+	return Event{Values: values}
+}
+
+// Dims returns the dimensionality k of the event.
+func (e Event) Dims() int { return len(e.Values) }
+
+// Validate checks that the event has at least one attribute and that every
+// value is normalized into [0, 1).
+func (e Event) Validate() error {
+	if len(e.Values) == 0 {
+		return errors.New("event: no attributes")
+	}
+	for i, v := range e.Values {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("event: attribute %d = %v outside [0,1)", i+1, v)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	parts := make([]string, len(e.Values))
+	for i, v := range e.Values {
+		parts[i] = fmt.Sprintf("%.3f", v)
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Rank describes the ordering of an event's attributes: Rank(e)[0] is d1,
+// the dimension (1-based, matching the paper) holding the greatest value,
+// Rank(e)[1] is d2, and so on. Ties are broken by lower dimension first,
+// which makes d1/d2 deterministic; callers that need every tied candidate
+// (the §4.1 rule) use GreatestDims instead.
+func Rank(e Event) []int {
+	k := len(e.Values)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by descending value; k is small (typically 3).
+	for i := 1; i < k; i++ {
+		j := i
+		for j > 0 && e.Values[idx[j]] > e.Values[idx[j-1]] {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			j--
+		}
+	}
+	for i := range idx {
+		idx[i]++ // 1-based dimensions, as in the paper
+	}
+	return idx
+}
+
+// GreatestDims returns every dimension (1-based) whose value equals the
+// event's maximum. The result has length 1 unless the event has tied
+// greatest values (§4.1).
+func GreatestDims(e Event) []int {
+	max := e.Values[0]
+	for _, v := range e.Values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var dims []int
+	for i, v := range e.Values {
+		if v == max {
+			dims = append(dims, i+1)
+		}
+	}
+	return dims
+}
+
+// SecondGreatest returns the second-greatest attribute value of e assuming
+// dimension d1 (1-based) is taken as the greatest. With distinct values
+// this is simply V_{d2}; with ties it is the maximum over the remaining
+// dimensions, which is the value the paper's Theorem 3.1 uses for VO.
+func SecondGreatest(e Event, d1 int) float64 {
+	best := -1.0
+	for i, v := range e.Values {
+		if i+1 == d1 {
+			continue
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Range is a closed query range [L, U] on one attribute. A "don't care"
+// attribute is represented by Unspecified() before rewriting.
+type Range struct {
+	L, U float64
+	// Wild marks an unspecified ("don't care") attribute of a
+	// partial-match query.
+	Wild bool
+}
+
+// Span returns the closed range [l, u].
+func Span(l, u float64) Range { return Range{L: l, U: u} }
+
+// PointRange returns the degenerate range [v, v] used by point queries.
+func PointRange(v float64) Range { return Range{L: v, U: v} }
+
+// Unspecified returns a "don't care" range.
+func Unspecified() Range { return Range{Wild: true} }
+
+// Contains reports whether v falls in the closed range. Wild ranges
+// contain everything.
+func (r Range) Contains(v float64) bool {
+	if r.Wild {
+		return true
+	}
+	return v >= r.L && v <= r.U
+}
+
+// String implements fmt.Stringer.
+func (r Range) String() string {
+	if r.Wild {
+		return "*"
+	}
+	if r.L == r.U {
+		return fmt.Sprintf("[%.3f]", r.L)
+	}
+	return fmt.Sprintf("[%.3f, %.3f]", r.L, r.U)
+}
+
+// Class labels the paper's four query types (§2).
+type Class int
+
+// Query classes, in the paper's numbering.
+const (
+	ExactPoint   Class = 1 // h = k, L_i = U_i everywhere
+	PartialPoint Class = 2 // h < k, L_i = U_i on specified attributes
+	ExactRange   Class = 3 // h = k, L_i ≤ U_i
+	PartialRange Class = 4 // h < k, L_i < U_i on specified attributes
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ExactPoint:
+		return "exact-point"
+	case PartialPoint:
+		return "partial-point"
+	case ExactRange:
+		return "exact-range"
+	case PartialRange:
+		return "partial-range"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Query is a k-dimensional (possibly partial) range query.
+type Query struct {
+	Ranges []Range
+}
+
+// NewQuery builds a query over the given ranges.
+func NewQuery(ranges ...Range) Query { return Query{Ranges: ranges} }
+
+// Dims returns the dimensionality k of the query.
+func (q Query) Dims() int { return len(q.Ranges) }
+
+// Validate checks dimensionality and that each specified range is a
+// non-empty sub-range of [0, 1].
+func (q Query) Validate() error {
+	if len(q.Ranges) == 0 {
+		return errors.New("query: no attributes")
+	}
+	specified := 0
+	for i, r := range q.Ranges {
+		if r.Wild {
+			continue
+		}
+		specified++
+		if r.L > r.U {
+			return fmt.Errorf("query: attribute %d has empty range [%v, %v]", i+1, r.L, r.U)
+		}
+		if r.L < 0 || r.U > 1 {
+			return fmt.Errorf("query: attribute %d range [%v, %v] outside [0,1]", i+1, r.L, r.U)
+		}
+	}
+	if specified == 0 {
+		return errors.New("query: all attributes unspecified")
+	}
+	return nil
+}
+
+// Classify returns the paper's query class of q.
+func (q Query) Classify() Class {
+	partial, point := false, true
+	for _, r := range q.Ranges {
+		if r.Wild {
+			partial = true
+			continue
+		}
+		if r.L != r.U {
+			point = false
+		}
+	}
+	switch {
+	case partial && point:
+		return PartialPoint
+	case partial:
+		return PartialRange
+	case point:
+		return ExactPoint
+	default:
+		return ExactRange
+	}
+}
+
+// Unspecified returns the number m of "don't care" attributes; the paper
+// calls a query with m unspecified ranges an m-partial query.
+func (q Query) Unspecified() int {
+	m := 0
+	for _, r := range q.Ranges {
+		if r.Wild {
+			m++
+		}
+	}
+	return m
+}
+
+// Rewrite returns q with every unspecified attribute replaced by the full
+// range [0, 1], per §2: "the query can be rewritten by setting the range of
+// each unspecified attribute to [0, 1]". The receiver is not modified.
+func (q Query) Rewrite() Query {
+	out := Query{Ranges: make([]Range, len(q.Ranges))}
+	for i, r := range q.Ranges {
+		if r.Wild {
+			out.Ranges[i] = Range{L: 0, U: 1}
+		} else {
+			out.Ranges[i] = r
+		}
+	}
+	return out
+}
+
+// Matches reports whether event e answers query q (the §2 answer
+// predicate). Events of a different dimensionality never match.
+func (q Query) Matches(e Event) bool {
+	if len(e.Values) != len(q.Ranges) {
+		return false
+	}
+	for i, r := range q.Ranges {
+		if !r.Contains(e.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (q Query) String() string {
+	parts := make([]string, len(q.Ranges))
+	for i, r := range q.Ranges {
+		parts[i] = r.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Filter returns the subset of events matching q, preserving order.
+func (q Query) Filter(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if q.Matches(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/stats"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Energy reports the radio-energy footprint of a full insert+query
+// workload on Pool and DIM: total energy, the hottest node's share, and
+// the Gini coefficient of the per-node energy distribution. Energy
+// hotspots are what ultimately kill a sensor network (§1's fourth design
+// issue), so this quantifies the claim behind the workload-sharing
+// machinery.
+func Energy(cfg Config) (*Result, error) {
+	title := fmt.Sprintf("Radio energy footprint, N=%d (insert + %d queries)", cfg.PartialSize, cfg.Queries)
+	table := texttable.New(title, "System", "TotalJ", "MaxNode mJ", "Gini")
+
+	src := rng.New(cfg.Seed + 9500)
+	env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
+	if err != nil {
+		return nil, err
+	}
+	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+	if err := env.InsertAll(events); err != nil {
+		return nil, err
+	}
+	qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
+	sinkSrc := src.Fork("sinks")
+	queries := make([]PlacedQuery, cfg.Queries)
+	for i := range queries {
+		queries[i] = PlacedQuery{Sink: sinkSrc.Intn(cfg.PartialSize), Query: qgen.ExactMatch(workload.ExponentialSizes)}
+	}
+	if _, _, err := env.QueryCosts(queries); err != nil {
+		return nil, err
+	}
+
+	addRow := func(name string, net *network.Network) {
+		energies := net.NodeEnergies()
+		var total, max float64
+		loads := make([]int, len(energies))
+		for i, e := range energies {
+			total += e
+			if e > max {
+				max = e
+			}
+			loads[i] = int(e * 1e6) // µJ resolution for the Gini computation
+		}
+		table.AddRow(name,
+			texttable.Float(total, 3),
+			texttable.Float(max*1e3, 2),
+			texttable.Float(stats.Gini(loads), 3))
+	}
+	addRow("DIM", env.DIMNet)
+	addRow("Pool", env.PoolNet)
+	return &Result{ID: "ablation-energy", Title: title, Table: table}, nil
+}
+
+// Fragmentation re-runs the §3.2.3 aggregation comparison on a radio with
+// a realistic 64-byte MTU, where large replies fragment into many frames:
+// aggregation then saves messages, not just bytes.
+func Fragmentation(cfg Config) (*Result, error) {
+	const mtu = 64
+	title := fmt.Sprintf("Aggregation under a %d-byte radio MTU, N=%d", mtu, cfg.PartialSize)
+	table := texttable.New(title, "Operation", "Frames", "ReplyBytes")
+
+	src := rng.New(cfg.Seed + 9600)
+	layoutSrc := src.Fork("layout")
+	env, err := NewEnv(cfg.PartialSize, cfg.Dims, layoutSrc)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the Pool system over an MTU-limited network on the same
+	// deployment.
+	net := network.New(env.Layout, network.WithMTU(mtu))
+	sys, err := pool.New(net, env.Router, cfg.Dims, src.Fork("pivots"))
+	if err != nil {
+		return nil, err
+	}
+	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+	for _, pe := range events {
+		if err := sys.Insert(pe.Origin, pe.Event); err != nil {
+			return nil, err
+		}
+	}
+
+	q := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+	sink := src.Fork("sinks").Intn(cfg.PartialSize)
+
+	before := net.Snapshot()
+	if _, err := sys.Query(sink, q); err != nil {
+		return nil, err
+	}
+	diff := net.Diff(before)
+	table.AddRow("SELECT *",
+		texttable.Int(int(diff.Messages[network.KindQuery]+diff.Messages[network.KindReply])),
+		texttable.Int(int(diff.Bytes[network.KindReply])))
+
+	before = net.Snapshot()
+	if _, err := sys.Aggregate(sink, q, pool.AggCount, 0); err != nil {
+		return nil, err
+	}
+	diff = net.Diff(before)
+	table.AddRow("COUNT",
+		texttable.Int(int(diff.Messages[network.KindQuery]+diff.Messages[network.KindReply])),
+		texttable.Int(int(diff.Bytes[network.KindReply])))
+
+	return &Result{ID: "ablation-fragmentation", Title: title, Table: table}, nil
+}

@@ -1,0 +1,194 @@
+// Package experiment contains one runner per figure of the paper's
+// evaluation (§5) plus the ablations DESIGN.md calls out. Every runner
+// builds fresh deployments, replays identical event and query populations
+// against Pool and DIM (each over its own traffic-counting network), and
+// reports the paper's metric: the average number of messages exchanged per
+// query.
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/dim"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Config holds the shared experiment parameters (§5.1 defaults).
+type Config struct {
+	// Seed drives every random choice; identical configs reproduce
+	// identical tables.
+	Seed int64
+	// Dims is the event dimensionality (paper: 3).
+	Dims int
+	// EventsPerNode is the stored-event load (paper: 3).
+	EventsPerNode int
+	// Queries is the number of queries averaged per data point.
+	Queries int
+	// NetworkSizes are the deployment sizes swept by Figure 6.
+	NetworkSizes []int
+	// PartialSize is the fixed deployment size of Figure 7 (paper: 900).
+	PartialSize int
+}
+
+// Default returns the paper's §5.1 parameters.
+func Default() Config {
+	return Config{
+		Seed:          42,
+		Dims:          3,
+		EventsPerNode: workload.DefaultEventsPerNode,
+		Queries:       100,
+		NetworkSizes:  []int{300, 600, 900, 1200},
+		PartialSize:   900,
+	}
+}
+
+// Quick returns a configuration with fewer queries per point for tests
+// and smoke runs. Network sizes stay at the paper's values: the claims
+// about DIM's sensitivity to network size only hold at realistic scales.
+func Quick() Config {
+	cfg := Default()
+	cfg.Queries = 30
+	cfg.NetworkSizes = []int{300, 600, 900}
+	return cfg
+}
+
+// Result is one regenerated figure or table.
+type Result struct {
+	// ID matches the experiment index in DESIGN.md (e.g. "fig6a").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table holds the series data.
+	Table *texttable.Table
+}
+
+// String renders the result for the CLI.
+func (r *Result) String() string {
+	return r.Table.String()
+}
+
+// Env is one instantiated deployment carrying a Pool system and a DIM
+// system over separate traffic counters.
+type Env struct {
+	Layout  *field.Layout
+	Router  *gpsr.Router
+	PoolNet *network.Network
+	DIMNet  *network.Network
+	Pool    *pool.System
+	DIM     *dim.System
+}
+
+// NewEnv builds a connected deployment of n nodes and both systems.
+func NewEnv(n, dims int, src *rng.Source, poolOpts ...pool.Option) (*Env, error) {
+	layout, err := field.Generate(field.DefaultSpec(n), src.Fork("layout"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	router := gpsr.New(layout)
+	poolNet := network.New(layout)
+	dimNet := network.New(layout)
+	p, err := pool.New(poolNet, router, dims, src.Fork("pivots"), poolOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	d, err := dim.New(dimNet, router, dims)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return &Env{Layout: layout, Router: router, PoolNet: poolNet, DIMNet: dimNet, Pool: p, DIM: d}, nil
+}
+
+// PlacedEvent is an event with its detecting sensor.
+type PlacedEvent struct {
+	Origin int
+	Event  event.Event
+}
+
+// GenerateEvents draws perNode events per sensor from gen, each detected
+// at its own sensor (§5.1: every sensor generates three events).
+func GenerateEvents(layout *field.Layout, perNode int, gen *workload.Events) []PlacedEvent {
+	out := make([]PlacedEvent, 0, layout.N()*perNode)
+	for node := 0; node < layout.N(); node++ {
+		for i := 0; i < perNode; i++ {
+			out = append(out, PlacedEvent{Origin: node, Event: gen.Next()})
+		}
+	}
+	return out
+}
+
+// InsertAll replays the events into both systems.
+func (e *Env) InsertAll(events []PlacedEvent) error {
+	for _, pe := range events {
+		if err := e.Pool.Insert(pe.Origin, pe.Event); err != nil {
+			return fmt.Errorf("pool insert: %w", err)
+		}
+		if err := e.DIM.Insert(pe.Origin, pe.Event); err != nil {
+			return fmt.Errorf("dim insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// PlacedQuery is a query with the sink issuing it.
+type PlacedQuery struct {
+	Sink  int
+	Query event.Query
+}
+
+// QueryCosts runs the same queries through both systems and returns the
+// average query-processing cost per query (query forwarding plus reply
+// messages, the paper's metric). Both systems must return identical result
+// sets; a mismatch is reported as an error since it indicates a
+// correctness bug.
+func (e *Env) QueryCosts(queries []PlacedQuery) (poolAvg, dimAvg float64, err error) {
+	var poolTotal, dimTotal uint64
+	for qi, pq := range queries {
+		beforeP := e.PoolNet.Snapshot()
+		poolRes, err := e.Pool.Query(pq.Sink, pq.Query)
+		if err != nil {
+			return 0, 0, fmt.Errorf("pool query %d: %w", qi, err)
+		}
+		dp := e.PoolNet.Diff(beforeP)
+		poolTotal += dp.Messages[network.KindQuery] + dp.Messages[network.KindReply]
+
+		beforeD := e.DIMNet.Snapshot()
+		dimRes, err := e.DIM.Query(pq.Sink, pq.Query)
+		if err != nil {
+			return 0, 0, fmt.Errorf("dim query %d: %w", qi, err)
+		}
+		dd := e.DIMNet.Diff(beforeD)
+		dimTotal += dd.Messages[network.KindQuery] + dd.Messages[network.KindReply]
+
+		if !sameEvents(poolRes, dimRes) {
+			return 0, 0, fmt.Errorf("query %d (%v): pool returned %d events, dim %d — result sets differ",
+				qi, pq.Query, len(poolRes), len(dimRes))
+		}
+	}
+	n := float64(len(queries))
+	return float64(poolTotal) / n, float64(dimTotal) / n, nil
+}
+
+// sameEvents compares result sets by sequence number.
+func sameEvents(a, b []event.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[uint64]int, len(a))
+	for _, e := range a {
+		seen[e.Seq]++
+	}
+	for _, e := range b {
+		seen[e.Seq]--
+		if seen[e.Seq] < 0 {
+			return false
+		}
+	}
+	return true
+}

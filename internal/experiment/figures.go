@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Fig6 regenerates Figure 6: the cost of exact-match range queries as the
+// network grows, under the given range-size distribution. Figure 6(a) uses
+// workload.UniformSizes, Figure 6(b) workload.ExponentialSizes.
+func Fig6(cfg Config, dist workload.RangeSizeDist) (*Result, error) {
+	id := "fig6a"
+	if dist == workload.ExponentialSizes {
+		id = "fig6b"
+	}
+	title := fmt.Sprintf("Figure 6 — exact match query cost, %s range sizes (avg messages/query)", dist)
+	table := texttable.New(title, "NetworkSize", "DIM", "Pool")
+
+	// One query population shared by every network size (common random
+	// numbers), so the series reflects scaling rather than draw noise.
+	qgen := workload.NewQueries(rng.New(cfg.Seed+555), cfg.Dims)
+	population := make([]event.Query, cfg.Queries)
+	for i := range population {
+		population[i] = qgen.ExactMatch(dist)
+	}
+
+	for _, n := range cfg.NetworkSizes {
+		src := rng.New(cfg.Seed + int64(n))
+		env, err := NewEnv(n, cfg.Dims, src)
+		if err != nil {
+			return nil, err
+		}
+		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		if err := env.InsertAll(events); err != nil {
+			return nil, err
+		}
+
+		sinkSrc := src.Fork("sinks")
+		queries := make([]PlacedQuery, cfg.Queries)
+		for i := range queries {
+			queries[i] = PlacedQuery{Sink: sinkSrc.Intn(n), Query: population[i]}
+		}
+
+		poolAvg, dimAvg, err := env.QueryCosts(queries)
+		if err != nil {
+			return nil, fmt.Errorf("n=%d: %w", n, err)
+		}
+		table.AddRow(texttable.Int(n), texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1))
+	}
+	return &Result{ID: id, Title: title, Table: table}, nil
+}
+
+// Fig7a regenerates Figure 7(a): partial-match query cost by the number of
+// unspecified dimensions, at the fixed §5.1 network size.
+func Fig7a(cfg Config) (*Result, error) {
+	title := fmt.Sprintf("Figure 7(a) — partial match query cost by unspecified dimensions, N=%d (avg messages/query)", cfg.PartialSize)
+	table := texttable.New(title, "Query", "DIM", "Pool")
+
+	src := rng.New(cfg.Seed + 7001)
+	env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
+	if err != nil {
+		return nil, err
+	}
+	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+	if err := env.InsertAll(events); err != nil {
+		return nil, err
+	}
+
+	// Paired design: every m-partial row blanks out attributes of the same
+	// fully specified base queries, so rows differ only in m.
+	qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
+	wildSrc := src.Fork("wild")
+	sinkSrc := src.Fork("sinks")
+	bases := make([]event.Query, cfg.Queries)
+	sinks := make([]int, cfg.Queries)
+	wildOrder := make([][]int, cfg.Queries)
+	for i := range bases {
+		q, err := qgen.MPartial(0)
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = q
+		sinks[i] = sinkSrc.Intn(cfg.PartialSize)
+		wildOrder[i] = wildSrc.Perm(cfg.Dims)
+	}
+
+	for m := 1; m < cfg.Dims; m++ {
+		queries := make([]PlacedQuery, cfg.Queries)
+		for i := range queries {
+			queries[i] = PlacedQuery{Sink: sinks[i], Query: blankOut(bases[i], wildOrder[i][:m])}
+		}
+		poolAvg, dimAvg, err := env.QueryCosts(queries)
+		if err != nil {
+			return nil, fmt.Errorf("m=%d: %w", m, err)
+		}
+		table.AddRow(fmt.Sprintf("%d-Partial", m), texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1))
+	}
+	return &Result{ID: "fig7a", Title: title, Table: table}, nil
+}
+
+// blankOut returns the query with the given 0-based attributes made
+// unspecified.
+func blankOut(q event.Query, dims []int) event.Query {
+	ranges := append([]event.Range(nil), q.Ranges...)
+	for _, d := range dims {
+		ranges[d] = event.Unspecified()
+	}
+	return event.NewQuery(ranges...)
+}
+
+// Fig7b regenerates Figure 7(b): 1@n-partial match query cost by which
+// dimension carries the unspecified range.
+func Fig7b(cfg Config) (*Result, error) {
+	title := fmt.Sprintf("Figure 7(b) — 1@n-partial match query cost by unspecified dimension, N=%d (avg messages/query)", cfg.PartialSize)
+	// DIMZones and PoolCells expose the pruning mechanism behind the
+	// costs: the zones/cells each system must visit per query.
+	table := texttable.New(title, "Query", "DIM", "Pool", "DIMZones", "PoolCells")
+
+	src := rng.New(cfg.Seed + 7002)
+	env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
+	if err != nil {
+		return nil, err
+	}
+	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+	if err := env.InsertAll(events); err != nil {
+		return nil, err
+	}
+
+	// Paired design: the three 1@n rows share the same base queries and
+	// sinks, differing only in which attribute is blanked out.
+	qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
+	sinkSrc := src.Fork("sinks")
+	bases := make([]event.Query, cfg.Queries)
+	sinks := make([]int, cfg.Queries)
+	for i := range bases {
+		q, err := qgen.MPartial(0)
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = q
+		sinks[i] = sinkSrc.Intn(cfg.PartialSize)
+	}
+
+	for n := 1; n <= cfg.Dims; n++ {
+		queries := make([]PlacedQuery, cfg.Queries)
+		var zoneCount, cellCount int
+		for i := range queries {
+			q := blankOut(bases[i], []int{n - 1})
+			queries[i] = PlacedQuery{Sink: sinks[i], Query: q}
+			zoneCount += len(env.DIM.RelevantZones(q))
+			for _, cells := range env.Pool.RelevantCells(q) {
+				cellCount += len(cells)
+			}
+		}
+		poolAvg, dimAvg, err := env.QueryCosts(queries)
+		if err != nil {
+			return nil, fmt.Errorf("1@%d: %w", n, err)
+		}
+		nq := float64(cfg.Queries)
+		table.AddRow(fmt.Sprintf("1@%d-Partial", n),
+			texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1),
+			texttable.Float(float64(zoneCount)/nq, 1), texttable.Float(float64(cellCount)/nq, 1))
+	}
+	return &Result{ID: "fig7b", Title: title, Table: table}, nil
+}

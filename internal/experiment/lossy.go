@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/dim"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Lossy re-runs the exact-match workload over radios that drop each frame
+// independently with probability p, with per-hop ARQ retransmission. The
+// paper assumes lossless links; real motes don't have them. Expected
+// inflation is 1/(1−p) per hop for both systems — the comparison should
+// survive, which is what this ablation verifies.
+func Lossy(cfg Config, rates []float64) (*Result, error) {
+	title := fmt.Sprintf("Lossy links with ARQ, N=%d (exponential range sizes, avg frames/query)", cfg.PartialSize)
+	table := texttable.New(title, "LossRate", "DIM", "Pool", "DIM inflation", "Pool inflation")
+
+	var dimBase, poolBase float64
+	for i, p := range rates {
+		src := rng.New(cfg.Seed + 9970) // same deployment for every rate
+		layout, err := field.Generate(field.DefaultSpec(cfg.PartialSize), src.Fork("layout"))
+		if err != nil {
+			return nil, err
+		}
+		router := gpsr.New(layout)
+		// Fork unconditionally: rng.Fork advances the parent stream, so a
+		// conditional fork would shift every later seed and make the rows
+		// incomparable.
+		poolLoss := src.Fork("loss-pool")
+		dimLoss := src.Fork("loss-dim")
+		var poolOpts, dimOpts []network.Option
+		if p > 0 {
+			poolOpts = append(poolOpts, network.WithLossRate(p, poolLoss))
+			dimOpts = append(dimOpts, network.WithLossRate(p, dimLoss))
+		}
+		poolNet := network.New(layout, poolOpts...)
+		dimNet := network.New(layout, dimOpts...)
+		ps, err := pool.New(poolNet, router, cfg.Dims, src.Fork("pivots"))
+		if err != nil {
+			return nil, err
+		}
+		ds, err := dim.New(dimNet, router, cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		env := &Env{Layout: layout, Router: router, PoolNet: poolNet, DIMNet: dimNet, Pool: ps, DIM: ds}
+		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		if err := env.InsertAll(events); err != nil {
+			return nil, err
+		}
+		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
+		sinkSrc := src.Fork("sinks")
+		queries := make([]PlacedQuery, cfg.Queries)
+		for qi := range queries {
+			queries[qi] = PlacedQuery{Sink: sinkSrc.Intn(cfg.PartialSize), Query: qgen.ExactMatch(workload.ExponentialSizes)}
+		}
+		poolAvg, dimAvg, err := env.QueryCosts(queries)
+		if err != nil {
+			return nil, fmt.Errorf("p=%v: %w", p, err)
+		}
+		if i == 0 {
+			dimBase, poolBase = dimAvg, poolAvg
+		}
+		table.AddRow(
+			texttable.Float(p, 2),
+			texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1),
+			texttable.Float(dimAvg/dimBase, 2), texttable.Float(poolAvg/poolBase, 2))
+	}
+	return &Result{ID: "ablation-lossy", Title: title, Table: table}, nil
+}

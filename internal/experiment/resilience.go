@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Resilience measures query recall under random node failures, with and
+// without Pool's cell-level replication (an extension in the spirit of
+// the resilient-DCS work the paper cites as [7]): the fraction of stored
+// events still retrievable after a growing share of nodes dies, plus the
+// recovery traffic replication spends.
+func Resilience(cfg Config, failPcts []int) (*Result, error) {
+	title := fmt.Sprintf("Query recall under node failures, N=%d", cfg.PartialSize)
+	table := texttable.New(title, "Failed%", "Pool recall", "Pool+replica recall", "RecoveryMsgs")
+
+	for _, pct := range failPcts {
+		src := rng.New(cfg.Seed + 9800 + int64(pct))
+		env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
+		if err != nil {
+			return nil, err
+		}
+		replNet := network.New(env.Layout)
+		repl, err := pool.New(replNet, env.Router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication())
+		if err != nil {
+			return nil, err
+		}
+
+		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		for _, pe := range events {
+			if err := env.Pool.Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+			if err := repl.Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+		}
+
+		// Kill the same random nodes in both systems.
+		killSrc := src.Fork("kills")
+		toKill := cfg.PartialSize * pct / 100
+		killed := make(map[int]bool, toKill)
+		for len(killed) < toKill {
+			v := killSrc.Intn(cfg.PartialSize)
+			if killed[v] {
+				continue
+			}
+			killed[v] = true
+			if err := env.Pool.FailNode(v); err != nil {
+				return nil, err
+			}
+			if err := repl.FailNode(v); err != nil {
+				return nil, err
+			}
+		}
+		sink := 0
+		for killed[sink] {
+			sink++
+		}
+
+		full := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+		plainGot, err := env.Pool.Query(sink, full)
+		if err != nil {
+			return nil, err
+		}
+		replGot, err := repl.Query(sink, full)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(len(events))
+		table.AddRow(texttable.Int(pct),
+			texttable.Float(float64(len(plainGot))/total, 3),
+			texttable.Float(float64(len(replGot))/total, 3),
+			texttable.Int(int(repl.RecoveryMessages())))
+	}
+	return &Result{ID: "ablation-resilience", Title: title, Table: table}, nil
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/stats"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// Variance re-runs the Figure 6(b) series over several independent
+// deployments per network size and reports the mean cost with a ~95%
+// confidence half-width, quantifying how much the single-deployment
+// figures move with the random placement and pivot draws.
+func Variance(cfg Config, trials int) (*Result, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("experiment: variance needs ≥ 2 trials, got %d", trials)
+	}
+	title := fmt.Sprintf("Figure 6(b) across %d deployments (avg messages/query, mean ± 95%% CI)", trials)
+	table := texttable.New(title, "NetworkSize", "DIM", "DIM ±", "Pool", "Pool ±")
+
+	// One query population shared across every size and trial.
+	qgen := workload.NewQueries(rng.New(cfg.Seed+556), cfg.Dims)
+	population := make([]event.Query, cfg.Queries)
+	for i := range population {
+		population[i] = qgen.ExactMatch(workload.ExponentialSizes)
+	}
+
+	for _, n := range cfg.NetworkSizes {
+		var dimSum, poolSum stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			src := rng.New(cfg.Seed + int64(n)*100 + int64(trial))
+			env, err := NewEnv(n, cfg.Dims, src)
+			if err != nil {
+				return nil, err
+			}
+			events := GenerateEvents(env.Layout, cfg.EventsPerNode,
+				workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+			if err := env.InsertAll(events); err != nil {
+				return nil, err
+			}
+			sinkSrc := src.Fork("sinks")
+			queries := make([]PlacedQuery, cfg.Queries)
+			for i := range queries {
+				queries[i] = PlacedQuery{Sink: sinkSrc.Intn(n), Query: population[i]}
+			}
+			poolAvg, dimAvg, err := env.QueryCosts(queries)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d trial %d: %w", n, trial, err)
+			}
+			dimSum.Add(dimAvg)
+			poolSum.Add(poolAvg)
+		}
+		table.AddRow(texttable.Int(n),
+			texttable.Float(dimSum.Mean(), 1), texttable.Float(dimSum.CI95(), 1),
+			texttable.Float(poolSum.Mean(), 1), texttable.Float(poolSum.CI95(), 1))
+	}
+	return &Result{ID: "ablation-variance", Title: title, Table: table}, nil
+}

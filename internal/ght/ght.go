@@ -1,0 +1,219 @@
+// Package ght implements a Geographic Hash Table (Ratnasamy et al.,
+// MONET 2003), the earliest data-centric storage scheme and the paper's
+// point of contrast for exact-match workloads (§1).
+//
+// GHT hashes an event's key to a geographic location and stores the event
+// at that location's home node — the node GPSR delivers to when no node
+// sits exactly at the hashed point. Because the hash destroys value
+// locality, GHT answers only exact-match point queries; range queries are
+// outside its contract, which is precisely the limitation Pool and DIM
+// address.
+package ght
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+)
+
+// ErrUnsupported is returned for queries GHT cannot evaluate (anything but
+// an exact-match point query).
+var ErrUnsupported = errors.New("ght: only exact-match point queries are supported")
+
+// Option configures New.
+type Option interface {
+	apply(*System)
+}
+
+type optionFunc func(*System)
+
+func (f optionFunc) apply(s *System) { f(s) }
+
+// WithStructuredReplication enables GHT's structured replication at the
+// given hierarchy depth d: the field is divided into 4^d subsquares, each
+// holding a mirror image of every root point. Events are stored at the
+// mirror closest to the detecting sensor (cheap inserts); queries visit
+// every mirror (d trades insert cost against query cost, exactly the
+// knob the GHT paper describes).
+func WithStructuredReplication(depth int) Option {
+	return optionFunc(func(s *System) { s.replDepth = depth })
+}
+
+// System is a GHT instance over one network.
+type System struct {
+	net    *network.Network
+	router *gpsr.Router
+
+	// replDepth is the structured-replication hierarchy depth (0 = off).
+	replDepth int
+
+	// storage holds the events owned by each node.
+	storage [][]event.Event
+	// homes caches hashed-point home nodes so repeated operations on the
+	// same key skip the perimeter probe, mirroring GHT's perimeter-refresh
+	// caching.
+	homes map[geo.Point]int
+}
+
+var _ dcs.System = (*System)(nil)
+var _ dcs.StorageReporter = (*System)(nil)
+
+// New builds a GHT over the given network and router.
+func New(net *network.Network, router *gpsr.Router, opts ...Option) *System {
+	s := &System{
+		net:     net,
+		router:  router,
+		storage: make([][]event.Event, net.Layout().N()),
+		homes:   make(map[geo.Point]int),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// MirrorPoints returns the structured-replication images of a root point:
+// the point's position replicated into each of the 4^depth subsquares
+// (the root's own subsquare included).
+func (s *System) MirrorPoints(root geo.Point) []geo.Point {
+	if s.replDepth <= 0 {
+		return []geo.Point{root}
+	}
+	side := s.net.Layout().Side
+	grid := 1 << uint(s.replDepth) // subsquares per axis
+	sub := side / float64(grid)
+	// The root's offset within its own subsquare.
+	offX := math.Mod(root.X, sub)
+	offY := math.Mod(root.Y, sub)
+	out := make([]geo.Point, 0, grid*grid)
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			out = append(out, geo.Pt(float64(gx)*sub+offX, float64(gy)*sub+offY))
+		}
+	}
+	return out
+}
+
+// Name implements dcs.System.
+func (s *System) Name() string { return "GHT" }
+
+// HashPoint maps an event key (its full value vector) to a location in the
+// deployment field. The mapping is deterministic and spreads keys
+// uniformly.
+func (s *System) HashPoint(values []float64) geo.Point {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range values {
+		// Quantize so that the 1e-12 noise of different computation paths
+		// cannot hash the same logical key to different points.
+		q := math.Round(v * 1e9)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(q))
+		_, _ = h.Write(buf[:])
+	}
+	sum := h.Sum64()
+	side := s.net.Layout().Side
+	x := float64(sum&0xFFFFFFFF) / float64(1<<32) * side
+	y := float64(sum>>32) / float64(1<<32) * side
+	return geo.Pt(x, y)
+}
+
+// home returns the home node for a hashed point, routing from the given
+// node on a cache miss and charging those hops as insert traffic is the
+// caller's job; home resolution itself is free because GPSR discovers the
+// home as a side effect of the first routed packet.
+func (s *System) home(from int, pt geo.Point) (int, error) {
+	if h, ok := s.homes[pt]; ok {
+		return h, nil
+	}
+	h, err := s.router.HomeNode(from, pt)
+	if err != nil {
+		return -1, err
+	}
+	s.homes[pt] = h
+	return h, nil
+}
+
+// Insert implements dcs.System: the event is routed to the home node of
+// its hashed key — with structured replication, to the home of the
+// nearest mirror image.
+func (s *System) Insert(origin int, e event.Event) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("ght: %w", err)
+	}
+	pt := s.HashPoint(e.Values)
+	if s.replDepth > 0 {
+		pos := s.net.Layout().Pos(origin)
+		best, bestD2 := pt, math.Inf(1)
+		for _, m := range s.MirrorPoints(pt) {
+			if d2 := pos.Dist2(m); d2 < bestD2 {
+				best, bestD2 = m, d2
+			}
+		}
+		pt = best
+	}
+	home, err := s.home(origin, pt)
+	if err != nil {
+		return fmt.Errorf("ght: insert: %w", err)
+	}
+	if _, err := dcs.Unicast(s.net, s.router, origin, home, network.KindInsert, dcs.EventBytes(e.Dims())); err != nil {
+		return fmt.Errorf("ght: insert: %w", err)
+	}
+	s.storage[home] = append(s.storage[home], e)
+	return nil
+}
+
+// Query implements dcs.System for exact-match point queries only.
+func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("ght: %w", err)
+	}
+	if q.Classify() != event.ExactPoint {
+		return nil, fmt.Errorf("%w: got %v", ErrUnsupported, q.Classify())
+	}
+	key := make([]float64, q.Dims())
+	for i, r := range q.Ranges {
+		key[i] = r.L
+	}
+	root := s.HashPoint(key)
+	// With structured replication, matching events may sit at any mirror;
+	// the query walks all of them in a chain and each mirror with matches
+	// replies.
+	var matches []event.Event
+	cur := sink
+	for _, pt := range s.MirrorPoints(root) {
+		home, err := s.home(cur, pt)
+		if err != nil {
+			return nil, fmt.Errorf("ght: query: %w", err)
+		}
+		if _, err := dcs.Unicast(s.net, s.router, cur, home, network.KindQuery, dcs.QueryBytes(q.Dims())); err != nil {
+			return nil, fmt.Errorf("ght: query: %w", err)
+		}
+		cur = home
+		found := q.Filter(s.storage[home])
+		if len(found) > 0 || s.replDepth == 0 {
+			matches = append(matches, found...)
+			if _, err := dcs.Unicast(s.net, s.router, home, sink, network.KindReply,
+				dcs.ReplyBytes(q.Dims(), len(found))); err != nil {
+				return nil, fmt.Errorf("ght: reply: %w", err)
+			}
+		}
+	}
+	return matches, nil
+}
+
+// StorageLoad implements dcs.StorageReporter.
+func (s *System) StorageLoad() []int {
+	out := make([]int, len(s.storage))
+	for i, evs := range s.storage {
+		out[i] = len(evs)
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package ght
+
+import (
+	"errors"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+)
+
+func newSystem(t testing.TB, n int, seed int64) (*System, *network.Network) {
+	t.Helper()
+	l, err := field.Generate(field.DefaultSpec(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(l)
+	return New(net, gpsr.New(l)), net
+}
+
+func TestHashPointDeterministicAndInField(t *testing.T) {
+	s, net := newSystem(t, 300, 1)
+	src := rng.New(2)
+	for i := 0; i < 200; i++ {
+		vals := []float64{src.Float64(), src.Float64(), src.Float64()}
+		p1 := s.HashPoint(vals)
+		p2 := s.HashPoint(vals)
+		if !p1.Equal(p2) {
+			t.Fatal("HashPoint not deterministic")
+		}
+		if !net.Layout().Bounds().ContainsClosed(p1) {
+			t.Fatalf("hashed point %v outside field", p1)
+		}
+	}
+}
+
+func TestHashPointSpreads(t *testing.T) {
+	s, net := newSystem(t, 300, 3)
+	src := rng.New(4)
+	side := net.Layout().Side
+	var left int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := s.HashPoint([]float64{src.Float64(), src.Float64(), src.Float64()})
+		if p.X < side/2 {
+			left++
+		}
+	}
+	if left < n/3 || left > 2*n/3 {
+		t.Errorf("hash badly skewed: %d/%d points in left half", left, n)
+	}
+}
+
+func TestInsertAndExactQuery(t *testing.T) {
+	s, net := newSystem(t, 300, 5)
+	e := event.New(0.25, 0.5, 0.75)
+	e.Seq = 1
+	if err := s.Insert(10, e); err != nil {
+		t.Fatal(err)
+	}
+	if net.Snapshot().Messages[network.KindInsert] == 0 {
+		t.Error("insert generated no traffic")
+	}
+
+	q := event.NewQuery(event.PointRange(0.25), event.PointRange(0.5), event.PointRange(0.75))
+	got, err := s.Query(200, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("Query = %v, want the inserted event", got)
+	}
+}
+
+func TestQueryMiss(t *testing.T) {
+	s, _ := newSystem(t, 300, 6)
+	if err := s.Insert(0, event.New(0.1, 0.2, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	q := event.NewQuery(event.PointRange(0.9), event.PointRange(0.9), event.PointRange(0.9))
+	got, err := s.Query(1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("miss returned %v", got)
+	}
+}
+
+func TestRangeQueryUnsupported(t *testing.T) {
+	s, _ := newSystem(t, 300, 7)
+	q := event.NewQuery(event.Span(0.1, 0.2), event.PointRange(0.5), event.PointRange(0.5))
+	if _, err := s.Query(0, q); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("range query err = %v, want ErrUnsupported", err)
+	}
+	pq := event.NewQuery(event.Unspecified(), event.PointRange(0.5), event.PointRange(0.5))
+	if _, err := s.Query(0, pq); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("partial query err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestInsertRejectsInvalid(t *testing.T) {
+	s, _ := newSystem(t, 300, 8)
+	if err := s.Insert(0, event.New(1.5)); err == nil {
+		t.Error("invalid event accepted")
+	}
+}
+
+func TestQueryRejectsInvalid(t *testing.T) {
+	s, _ := newSystem(t, 300, 8)
+	if _, err := s.Query(0, event.NewQuery()); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestSameKeySameHome(t *testing.T) {
+	s, _ := newSystem(t, 300, 9)
+	// Insert the same key from many different origins; all copies must
+	// land on one node.
+	for origin := 0; origin < 20; origin++ {
+		if err := s.Insert(origin*7, event.New(0.5, 0.5, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := s.StorageLoad()
+	nonZero := 0
+	for _, l := range loads {
+		if l > 0 {
+			nonZero++
+			if l != 20 {
+				t.Errorf("home node stores %d copies, want 20", l)
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Errorf("events spread over %d nodes, want 1", nonZero)
+	}
+}
+
+func TestStorageLoadSpread(t *testing.T) {
+	s, _ := newSystem(t, 300, 10)
+	src := rng.New(11)
+	const events = 600
+	for i := 0; i < events; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := s.StorageLoad()
+	total, maxLoad := 0, 0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total != events {
+		t.Fatalf("stored %d events, want %d", total, events)
+	}
+	// Uniform keys should not concentrate badly.
+	if maxLoad > events/10 {
+		t.Errorf("hash hotspot: max node load %d of %d", maxLoad, events)
+	}
+}
+
+func TestHomeCacheAvoidsRouteProbe(t *testing.T) {
+	s, net := newSystem(t, 300, 12)
+	if err := s.Insert(0, event.New(0.3, 0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Snapshot()
+	// Second insert of the same key reuses the cached home: traffic should
+	// be pure unicast (bounded by network diameter), not a fresh probe.
+	if err := s.Insert(0, event.New(0.3, 0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	diff := net.Diff(before)
+	if diff.Messages[network.KindInsert] == 0 {
+		t.Error("second insert generated no traffic")
+	}
+}
+
+func newReplicatedSystem(t testing.TB, n int, seed int64, depth int) (*System, *network.Network) {
+	t.Helper()
+	l, err := field.Generate(field.DefaultSpec(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(l)
+	return New(net, gpsr.New(l), WithStructuredReplication(depth)), net
+}
+
+func TestMirrorPoints(t *testing.T) {
+	s, net := newReplicatedSystem(t, 300, 20, 1)
+	root := geo.Pt(10, 20)
+	mirrors := s.MirrorPoints(root)
+	if len(mirrors) != 4 {
+		t.Fatalf("depth 1 should give 4 mirrors, got %d", len(mirrors))
+	}
+	side := net.Layout().Side
+	seen := make(map[geo.Point]bool)
+	for _, m := range mirrors {
+		if m.X < 0 || m.X > side || m.Y < 0 || m.Y > side {
+			t.Errorf("mirror %v outside field", m)
+		}
+		if seen[m] {
+			t.Errorf("duplicate mirror %v", m)
+		}
+		seen[m] = true
+	}
+	if !seen[root] {
+		t.Errorf("root %v not among its own mirrors %v", root, mirrors)
+	}
+
+	// Depth 2 gives 16.
+	s2, _ := newReplicatedSystem(t, 300, 21, 2)
+	if got := len(s2.MirrorPoints(root)); got != 16 {
+		t.Errorf("depth 2 mirrors = %d, want 16", got)
+	}
+
+	// Depth 0 is the identity.
+	s0, _ := newSystem(t, 300, 22)
+	if got := s0.MirrorPoints(root); len(got) != 1 || !got[0].Equal(root) {
+		t.Errorf("depth 0 mirrors = %v", got)
+	}
+}
+
+func TestReplicatedInsertAndQuery(t *testing.T) {
+	s, _ := newReplicatedSystem(t, 300, 23, 1)
+	src := rng.New(24)
+	var keys [][]float64
+	for i := 0; i < 50; i++ {
+		vals := []float64{src.Float64(), src.Float64(), src.Float64()}
+		keys = append(keys, vals)
+		e := event.New(vals...)
+		e.Seq = uint64(i + 1)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, vals := range keys {
+		q := event.NewQuery(event.PointRange(vals[0]), event.PointRange(vals[1]), event.PointRange(vals[2]))
+		got, err := s.Query(src.Intn(300), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Seq != uint64(i+1) {
+			t.Fatalf("key %d: got %v", i, got)
+		}
+	}
+}
+
+func TestReplicationTradesInsertForQuery(t *testing.T) {
+	// Structured replication should cut insert cost (nearest mirror) and
+	// raise query cost (all mirrors visited).
+	insertCost := func(depth int) (float64, float64) {
+		var s *System
+		var net *network.Network
+		if depth == 0 {
+			s, net = newSystem(t, 600, 25)
+		} else {
+			s, net = newReplicatedSystem(t, 600, 25, depth)
+		}
+		src := rng.New(26)
+		var events []event.Event
+		for i := 0; i < 200; i++ {
+			e := event.New(src.Float64(), src.Float64(), src.Float64())
+			e.Seq = uint64(i + 1)
+			events = append(events, e)
+			if err := s.Insert(src.Intn(600), e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ins := float64(net.Snapshot().Messages[network.KindInsert]) / 200
+		before := net.Snapshot()
+		for i := 0; i < 50; i++ {
+			e := events[src.Intn(len(events))]
+			q := event.NewQuery(event.PointRange(e.Values[0]), event.PointRange(e.Values[1]), event.PointRange(e.Values[2]))
+			if _, err := s.Query(src.Intn(600), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := net.Diff(before)
+		qc := float64(d.Messages[network.KindQuery]+d.Messages[network.KindReply]) / 50
+		return ins, qc
+	}
+	ins0, q0 := insertCost(0)
+	ins1, q1 := insertCost(1)
+	if ins1 >= ins0 {
+		t.Errorf("replication did not cut insert cost: %v vs %v", ins1, ins0)
+	}
+	if q1 <= q0 {
+		t.Errorf("replication did not raise query cost: %v vs %v", q1, q0)
+	}
+}

@@ -1,0 +1,304 @@
+// Package gpsr implements Greedy Perimeter Stateless Routing (Karp & Kung,
+// MobiCom 2000), the routing substrate the paper adopts for Pool, DIM, and
+// GHT (§2).
+//
+// Packets address geographic locations. Greedy mode forwards to the radio
+// neighbour closest to the target; at a local minimum the packet enters
+// perimeter mode and traverses faces of the Gabriel-graph planarization
+// with the right-hand rule, switching faces where they cross the line from
+// the perimeter entry point to the target. When a perimeter tour returns to
+// its first edge without finding a closer node, the face encloses the
+// target and the node that started the tour is the target's home node —
+// the delivery rule geographic hash systems (GHT, and hence Pool's cells
+// and DIM's zones) rely on.
+package gpsr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+)
+
+// Router precomputes the planar subgraph of a deployment and routes packets
+// over it.
+type Router struct {
+	layout *field.Layout
+	planar [][]int
+}
+
+// New builds a Router for layout, planarizing the unit-disc graph into its
+// Gabriel graph. For a connected unit-disc graph the Gabriel subgraph is
+// connected, which perimeter mode requires.
+func New(layout *field.Layout) *Router {
+	r := &Router{layout: layout}
+	r.planarize()
+	return r
+}
+
+// planarize computes the Gabriel graph: the edge (u,v) survives iff no
+// witness node lies strictly inside the disc with diameter uv. Any such
+// witness is necessarily a radio neighbour of both endpoints (its distance
+// to each is at most |uv| ≤ radio range), so scanning u's neighbour list
+// suffices — exactly the local rule real GPSR nodes apply.
+func (r *Router) planarize() {
+	l := r.layout
+	r.planar = make([][]int, l.N())
+	for u := 0; u < l.N(); u++ {
+		pu := l.Pos(u)
+		for _, v := range l.Neighbors(u) {
+			pv := l.Pos(v)
+			mid := pu.Mid(pv)
+			rad2 := pu.Dist2(pv) / 4
+			keep := true
+			for _, w := range l.Neighbors(u) {
+				if w == v {
+					continue
+				}
+				if l.Pos(w).Dist2(mid) < rad2 {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				r.planar[u] = append(r.planar[u], v)
+			}
+		}
+	}
+}
+
+// Layout returns the deployment the router serves.
+func (r *Router) Layout() *field.Layout { return r.layout }
+
+// PlanarNeighbors returns the Gabriel-graph neighbours of id (a subset of
+// its radio neighbours). The slice is owned by the router.
+func (r *Router) PlanarNeighbors(id int) []int { return r.planar[id] }
+
+// Result describes a completed route.
+type Result struct {
+	// Path lists the nodes visited, starting with the source and ending
+	// with the home node. len(Path)-1 is the hop count.
+	Path []int
+	// Home is the delivering node.
+	Home int
+	// GreedyHops and PerimeterHops split the hop count by mode.
+	GreedyHops    int
+	PerimeterHops int
+}
+
+// Hops returns the number of radio transmissions along the route.
+func (res Result) Hops() int { return len(res.Path) - 1 }
+
+// ErrTTLExceeded is returned when a route exceeds its hop budget, which
+// indicates a planarization failure (should not happen on Gabriel graphs).
+var ErrTTLExceeded = errors.New("gpsr: TTL exceeded")
+
+type mode int
+
+const (
+	modeGreedy mode = iota
+	modePerimeter
+)
+
+// packet is the per-packet routing state GPSR carries in its header.
+type packet struct {
+	target geo.Point
+	mode   mode
+	// lp is the location where the packet entered perimeter mode.
+	lp geo.Point
+	// lf is the point on the segment lp→target where the packet entered
+	// the current face.
+	lf geo.Point
+	// e0 is the first edge traversed on the current face; re-encountering
+	// it means the tour is complete.
+	e0 [2]int
+	// prev is the node the packet arrived from (-1 at origin).
+	prev int
+}
+
+// Route forwards a packet from node src toward the geographic target and
+// returns the route taken. The packet is delivered at the target's home
+// node: the first node whose perimeter tour around the target finds no
+// node closer. Route is deterministic.
+func (r *Router) Route(src int, target geo.Point) (Result, error) {
+	return r.route(src, target, -1)
+}
+
+// route implements Route. When consumeAt is non-negative, the packet is
+// addressed to that specific node and is consumed on arrival there instead
+// of probing the perimeter around its location.
+func (r *Router) route(src int, target geo.Point, consumeAt int) (Result, error) {
+	l := r.layout
+	pkt := packet{target: target, mode: modeGreedy, prev: -1}
+	cur := src
+	res := Result{Path: []int{src}}
+	ttl := 10*l.N() + 100
+
+	for hop := 0; ; hop++ {
+		if hop > ttl {
+			return res, fmt.Errorf("%w: %d hops from %d to %v", ErrTTLExceeded, hop, src, target)
+		}
+		if cur == consumeAt {
+			res.Home = cur
+			return res, nil
+		}
+		next, deliver := r.step(cur, &pkt)
+		if deliver {
+			res.Home = cur
+			return res, nil
+		}
+		if pkt.mode == modeGreedy {
+			res.GreedyHops++
+		} else {
+			res.PerimeterHops++
+		}
+		pkt.prev = cur
+		cur = next
+		res.Path = append(res.Path, cur)
+	}
+}
+
+// step computes the forwarding decision at node cur, mutating the packet
+// header exactly as a real GPSR node would. It returns the next hop, or
+// deliver=true when cur consumes the packet.
+func (r *Router) step(cur int, pkt *packet) (next int, deliver bool) {
+	l := r.layout
+	here := l.Pos(cur)
+	d2 := here.Dist2(pkt.target)
+	if d2 == 0 {
+		// Exact arrival: no perimeter probe is needed to prove that no
+		// node is closer.
+		return 0, true
+	}
+
+	if pkt.mode == modePerimeter {
+		// Revert to greedy as soon as we are closer than the point where
+		// perimeter mode began.
+		if d2 < pkt.lp.Dist2(pkt.target) {
+			pkt.mode = modeGreedy
+		}
+	}
+
+	if pkt.mode == modeGreedy {
+		best, bestD2 := -1, d2
+		for _, v := range l.Neighbors(cur) {
+			if vd2 := l.Pos(v).Dist2(pkt.target); vd2 < bestD2 {
+				best, bestD2 = v, vd2
+			}
+		}
+		if best >= 0 {
+			return best, false
+		}
+		// Local minimum. A node with no planar neighbours is trivially the
+		// home node.
+		if len(r.planar[cur]) == 0 {
+			return 0, true
+		}
+		// Enter perimeter mode: tour the face intersected by the segment
+		// cur→target, starting with the first edge counterclockwise from
+		// that segment.
+		pkt.mode = modePerimeter
+		pkt.lp = here
+		pkt.lf = here
+		a := r.rightHand(cur, here.Angle(pkt.target), -1)
+		a = r.faceChange(cur, a, pkt)
+		pkt.e0 = [2]int{cur, a}
+		return a, false
+	}
+
+	// Perimeter forwarding: right-hand rule from the ingress edge.
+	a := r.rightHand(cur, here.Angle(l.Pos(pkt.prev)), pkt.prev)
+	a = r.faceChange(cur, a, pkt)
+	if cur == pkt.e0[0] && a == pkt.e0[1] {
+		// The tour is about to repeat its first edge: the current face
+		// encloses the target and no node on it is closer than lp, so cur
+		// (the node that started the tour) is the home node.
+		return 0, true
+	}
+	return a, false
+}
+
+// rightHand returns the planar neighbour of cur whose edge is the first
+// one counterclockwise from the reference direction refAngle. prev, when
+// non-negative, is the ingress neighbour: it is only chosen as a last
+// resort (a full 2π turn), which makes dead-end u-turns work.
+func (r *Router) rightHand(cur int, refAngle float64, prev int) int {
+	l := r.layout
+	here := l.Pos(cur)
+	best, bestDelta := -1, math.Inf(1)
+	for _, v := range r.planar[cur] {
+		delta := normAngle(here.Angle(l.Pos(v)) - refAngle)
+		if v == prev || delta == 0 {
+			// Ingress edge (delta 0 relative to itself) sorts last.
+			delta = 2 * math.Pi
+		}
+		if delta < bestDelta {
+			best, bestDelta = v, delta
+		}
+	}
+	return best
+}
+
+// faceChange applies GPSR's face-change rule: while the candidate edge
+// cur→a crosses the segment lp→target at a point strictly closer to the
+// target than lf, the packet moves to the adjacent face — lf advances to
+// the crossing and the right-hand rule restarts from the rejected edge.
+func (r *Router) faceChange(cur, a int, pkt *packet) int {
+	l := r.layout
+	here := l.Pos(cur)
+	lpLine := geo.Seg(pkt.lp, pkt.target)
+	for range len(r.planar[cur]) {
+		e := geo.Seg(here, l.Pos(a))
+		if !e.ProperlyIntersects(lpLine) {
+			break
+		}
+		i, ok := e.IntersectionPoint(lpLine)
+		if !ok || i.Dist2(pkt.target) >= pkt.lf.Dist2(pkt.target) {
+			break
+		}
+		pkt.lf = i
+		next := r.rightHand(cur, here.Angle(l.Pos(a)), a)
+		if next == a {
+			break
+		}
+		a = next
+		pkt.e0 = [2]int{cur, a}
+	}
+	return a
+}
+
+// normAngle maps an angle difference into [0, 2π).
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// RouteToNode routes from src to node dst, addressing dst's own location.
+// The packet is consumed on arrival at dst without a perimeter probe.
+func (r *Router) RouteToNode(src, dst int) (Result, error) {
+	res, err := r.route(src, r.layout.Pos(dst), dst)
+	if err != nil {
+		return res, err
+	}
+	if res.Home != dst {
+		// Another node co-located with (or closer to) dst's position
+		// absorbed the packet; only possible with duplicate coordinates.
+		return res, fmt.Errorf("gpsr: route to node %d delivered at %d", dst, res.Home)
+	}
+	return res, nil
+}
+
+// HomeNode returns the node that consumes packets addressed to target when
+// routed from src.
+func (r *Router) HomeNode(src int, target geo.Point) (int, error) {
+	res, err := r.Route(src, target)
+	if err != nil {
+		return -1, err
+	}
+	return res.Home, nil
+}

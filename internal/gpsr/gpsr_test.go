@@ -1,0 +1,342 @@
+package gpsr
+
+import (
+	"testing"
+
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/rng"
+)
+
+func genLayout(t testing.TB, n int, seed int64) *field.Layout {
+	t.Helper()
+	l, err := field.Generate(field.DefaultSpec(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestGabrielSubsetAndSymmetric(t *testing.T) {
+	l := genLayout(t, 300, 1)
+	r := New(l)
+	inSlice := func(x int, s []int) bool {
+		for _, v := range s {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < l.N(); u++ {
+		for _, v := range r.PlanarNeighbors(u) {
+			if !inSlice(v, l.Neighbors(u)) {
+				t.Fatalf("planar edge %d-%d not a radio link", u, v)
+			}
+			if !inSlice(u, r.PlanarNeighbors(v)) {
+				t.Fatalf("planar edge %d-%d asymmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestGabrielWitnessRule(t *testing.T) {
+	l := genLayout(t, 300, 2)
+	r := New(l)
+	// Brute-force check on a sample: an edge is planar iff no node at all
+	// lies strictly inside its diametral disc.
+	for _, u := range []int{0, 42, 150, 299} {
+		planar := make(map[int]bool)
+		for _, v := range r.PlanarNeighbors(u) {
+			planar[v] = true
+		}
+		for _, v := range l.Neighbors(u) {
+			mid := l.Pos(u).Mid(l.Pos(v))
+			rad2 := l.Pos(u).Dist2(l.Pos(v)) / 4
+			hasWitness := false
+			for w := 0; w < l.N(); w++ {
+				if w == u || w == v {
+					continue
+				}
+				if l.Pos(w).Dist2(mid) < rad2 {
+					hasWitness = true
+					break
+				}
+			}
+			if planar[v] == hasWitness {
+				t.Fatalf("edge %d-%d: planar=%v but witness=%v", u, v, planar[v], hasWitness)
+			}
+		}
+	}
+}
+
+func TestGabrielNoCrossings(t *testing.T) {
+	l := genLayout(t, 300, 3)
+	r := New(l)
+	type edge struct{ u, v int }
+	var edges []edge
+	for u := 0; u < l.N(); u++ {
+		for _, v := range r.PlanarNeighbors(u) {
+			if u < v {
+				edges = append(edges, edge{u, v})
+			}
+		}
+	}
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			a, b := edges[i], edges[j]
+			if a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v {
+				continue // shared endpoint
+			}
+			s1 := geo.Seg(l.Pos(a.u), l.Pos(a.v))
+			s2 := geo.Seg(l.Pos(b.u), l.Pos(b.v))
+			if s1.ProperlyIntersects(s2) {
+				t.Fatalf("planar edges %v and %v cross", a, b)
+			}
+		}
+	}
+}
+
+func TestGabrielConnected(t *testing.T) {
+	l := genLayout(t, 300, 4)
+	r := New(l)
+	seen := make([]bool, l.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range r.PlanarNeighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != l.N() {
+		t.Fatalf("Gabriel graph disconnected: %d of %d reachable", count, l.N())
+	}
+}
+
+func TestGreedyRouteStraightChain(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(30, 0), geo.Pt(60, 0), geo.Pt(90, 0)}
+	l, err := field.FromPositions(pts, 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(l)
+	res, err := r.Route(0, geo.Pt(90, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Home != 3 {
+		t.Errorf("Home = %d, want 3", res.Home)
+	}
+	if res.Hops() != 3 || res.GreedyHops != 3 || res.PerimeterHops != 0 {
+		t.Errorf("hops = %d (greedy %d, perim %d)", res.Hops(), res.GreedyHops, res.PerimeterHops)
+	}
+}
+
+func TestRouteDeliversAtClosestNode(t *testing.T) {
+	l := genLayout(t, 300, 5)
+	r := New(l)
+	src := rng.New(50)
+	for trial := 0; trial < 100; trial++ {
+		target := geo.Pt(src.Uniform(0, l.Side), src.Uniform(0, l.Side))
+		res, err := r.Route(0, target)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Home must be a local minimum: no radio neighbour of home is
+		// closer to the target.
+		hd := l.Pos(res.Home).Dist2(target)
+		for _, v := range l.Neighbors(res.Home) {
+			if l.Pos(v).Dist2(target) < hd {
+				t.Fatalf("trial %d: home %d has closer neighbour %d", trial, res.Home, v)
+			}
+		}
+	}
+}
+
+func TestHomeNodeIndependentOfSource(t *testing.T) {
+	l := genLayout(t, 300, 6)
+	r := New(l)
+	src := rng.New(51)
+	for trial := 0; trial < 40; trial++ {
+		target := geo.Pt(src.Uniform(0, l.Side), src.Uniform(0, l.Side))
+		first := -2
+		for s := 0; s < 10; s++ {
+			from := src.Intn(l.N())
+			home, err := r.HomeNode(from, target)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if first == -2 {
+				first = home
+			} else if home != first {
+				t.Fatalf("trial %d: home differs by source: %d vs %d (target %v)",
+					trial, first, home, target)
+			}
+		}
+	}
+}
+
+func TestRouteToNode(t *testing.T) {
+	l := genLayout(t, 300, 7)
+	r := New(l)
+	src := rng.New(52)
+	for trial := 0; trial < 100; trial++ {
+		from, to := src.Intn(l.N()), src.Intn(l.N())
+		res, err := r.RouteToNode(from, to)
+		if err != nil {
+			t.Fatalf("trial %d: route %d→%d: %v", trial, from, to, err)
+		}
+		if res.Home != to {
+			t.Fatalf("trial %d: delivered at %d, want %d", trial, res.Home, to)
+		}
+		if from == to && res.Hops() != 0 {
+			t.Errorf("self route took %d hops", res.Hops())
+		}
+		// Every consecutive pair in the path must be a radio link.
+		for i := 1; i < len(res.Path); i++ {
+			a, b := res.Path[i-1], res.Path[i]
+			rr := l.Spec.RadioRange
+			if l.Pos(a).Dist2(l.Pos(b)) > rr*rr {
+				t.Fatalf("trial %d: hop %d-%d exceeds radio range", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestRouteSelfTarget(t *testing.T) {
+	l := genLayout(t, 300, 8)
+	r := New(l)
+	res, err := r.Route(17, l.Pos(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Home != 17 || res.Hops() != 0 {
+		t.Errorf("routing to own position: home %d hops %d", res.Home, res.Hops())
+	}
+}
+
+func TestPerimeterModeCrossesVoid(t *testing.T) {
+	// A horseshoe: source and target region are close in space but the
+	// direct path has no nodes, forcing perimeter traversal around the gap.
+	//
+	//   0 --- 1 --- 2
+	//   |           |
+	//   7           3
+	//   |           |
+	//   6 --- 5 --- 4      target near node 6; source node 0's greedy
+	//                      neighbour toward 6 does not exist (gap between
+	//                      0 and 6 exceeds nothing — build a true trap)
+	pts := []geo.Point{
+		geo.Pt(0, 80),  // 0: source, local minimum for target below
+		geo.Pt(35, 80), // 1
+		geo.Pt(70, 80), // 2
+		geo.Pt(70, 45), // 3
+		geo.Pt(70, 10), // 4
+		geo.Pt(35, 10), // 5
+		geo.Pt(0, 10),  // 6: closest to target
+	}
+	l, err := field.FromPositions(pts, 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(l)
+	target := geo.Pt(0, 0)
+	// Node 0 is 80 m from target; its only neighbour (1) is farther, so
+	// greedy fails immediately and perimeter mode must walk the horseshoe.
+	res, err := r.Route(0, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Home != 6 {
+		t.Fatalf("home = %d, want 6 (path %v)", res.Home, res.Path)
+	}
+	if res.PerimeterHops == 0 {
+		t.Error("expected perimeter hops around the void")
+	}
+}
+
+func TestTargetOutsideFieldStillDelivers(t *testing.T) {
+	l := genLayout(t, 300, 9)
+	r := New(l)
+	res, err := r.Route(0, geo.Pt(-50, -50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home must be a boundary local minimum.
+	hd := l.Pos(res.Home).Dist2(geo.Pt(-50, -50))
+	for _, v := range l.Neighbors(res.Home) {
+		if l.Pos(v).Dist2(geo.Pt(-50, -50)) < hd {
+			t.Fatalf("home %d not a local minimum for outside target", res.Home)
+		}
+	}
+}
+
+func TestAllPairsDeliveryMediumNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exhaustive routing in -short mode")
+	}
+	l := genLayout(t, 300, 10)
+	r := New(l)
+	src := rng.New(53)
+	for trial := 0; trial < 2000; trial++ {
+		from, to := src.Intn(l.N()), src.Intn(l.N())
+		if _, err := r.RouteToNode(from, to); err != nil {
+			t.Fatalf("route %d→%d failed: %v", from, to, err)
+		}
+	}
+}
+
+func TestDeterministicRoutes(t *testing.T) {
+	l := genLayout(t, 300, 11)
+	r := New(l)
+	target := geo.Pt(100, 100)
+	a, err := r.Route(5, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Route(5, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Path) != len(b.Path) {
+		t.Fatal("routes differ across identical calls")
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			t.Fatal("routes differ across identical calls")
+		}
+	}
+}
+
+func TestHopCountReasonable(t *testing.T) {
+	l := genLayout(t, 900, 12)
+	r := New(l)
+	src := rng.New(54)
+	total, trials := 0, 200
+	for i := 0; i < trials; i++ {
+		from, to := src.Intn(l.N()), src.Intn(l.N())
+		res, err := r.RouteToNode(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A hop covers at most the radio range, so hops ≥ dist/range; GPSR
+		// should stay within a small multiple of that bound on dense
+		// uniform networks.
+		minHops := int(l.Pos(from).Dist(l.Pos(to)) / l.Spec.RadioRange)
+		if res.Hops() < minHops {
+			t.Fatalf("impossible hop count %d < %d", res.Hops(), minHops)
+		}
+		total += res.Hops()
+	}
+	avg := float64(total) / float64(trials)
+	if avg > 25 {
+		t.Errorf("average hops %v implausibly high for 900 nodes", avg)
+	}
+}

@@ -1,0 +1,365 @@
+// Package network models the radio layer of the sensor network: per-hop
+// message transmission over the unit-disc links of a field.Layout, with
+// message, byte, energy, and per-node load accounting.
+//
+// The paper's evaluation metric is the number of messages exchanged among
+// sensors while processing queries; Counters captures that, split by
+// traffic class so that insertion and query costs can be reported
+// separately (§5.2). Energy uses the first-order radio model common in the
+// WSN literature, which the hotspot experiments use to reason about node
+// lifetime.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pooldcs/internal/field"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// Kind classifies traffic for accounting.
+type Kind int
+
+// Traffic classes.
+const (
+	KindInsert  Kind = iota + 1 // event storage traffic
+	KindQuery                   // query dissemination
+	KindReply                   // result return traffic
+	KindControl                 // beacons, workload-sharing coordination
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindQuery:
+		return "query"
+	case KindReply:
+		return "reply"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every traffic class in display order.
+func Kinds() []Kind {
+	return []Kind{KindInsert, KindQuery, KindReply, KindControl}
+}
+
+// EnergyModel holds the first-order radio model parameters. Transmitting b
+// bits over distance d costs Elec·b + Amp·b·d²; receiving costs Elec·b.
+type EnergyModel struct {
+	// Elec is the electronics energy per bit in joules (default 50 nJ).
+	Elec float64
+	// Amp is the amplifier energy per bit per m² in joules (default 100 pJ).
+	Amp float64
+}
+
+// DefaultEnergyModel returns the standard first-order parameters.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{Elec: 50e-9, Amp: 100e-12}
+}
+
+// Counters aggregates traffic totals.
+type Counters struct {
+	// Messages counts transmissions (one per hop) by kind.
+	Messages map[Kind]uint64
+	// Bytes counts payload bytes transmitted by kind.
+	Bytes map[Kind]uint64
+	// EnergyJ is the total radio energy spent in joules (tx + rx).
+	EnergyJ float64
+}
+
+// Total returns the total number of messages across all kinds.
+func (c Counters) Total() uint64 {
+	var t uint64
+	for _, v := range c.Messages {
+		t += v
+	}
+	return t
+}
+
+// TotalData returns messages excluding control traffic, the paper's query
+// processing cost metric.
+func (c Counters) TotalData() uint64 {
+	return c.Total() - c.Messages[KindControl]
+}
+
+// Network is the radio layer over a deployment.
+type Network struct {
+	layout *field.Layout
+	energy EnergyModel
+
+	msgs    [numKinds]uint64
+	bytes   [numKinds]uint64
+	energyJ float64
+
+	// nodeTx/nodeRx track per-node load for the hotspot experiments.
+	nodeTx []uint64
+	nodeRx []uint64
+	// nodeEnergy tracks radio energy per node for lifetime analysis.
+	nodeEnergy []float64
+
+	// mtu, when positive, fragments payloads into ⌈size/mtu⌉ frames, each
+	// counted as one message.
+	mtu int
+
+	// lossRate, when positive, drops each transmission with this
+	// probability (drawn from lossSrc). Dropped frames still cost the
+	// sender energy and count as messages — the receiver just never gets
+	// them.
+	lossRate float64
+	lossSrc  *rng.Source
+
+	sched      *sim.Scheduler
+	hopLatency time.Duration
+}
+
+// ErrFrameLost reports a transmission dropped by the lossy-link model.
+// The frame was sent (and charged); it was not received.
+var ErrFrameLost = errors.New("network: frame lost")
+
+// Option configures a Network.
+type Option interface {
+	apply(*Network)
+}
+
+type optionFunc func(*Network)
+
+func (f optionFunc) apply(n *Network) { f(n) }
+
+// WithEnergyModel overrides the default radio energy model.
+func WithEnergyModel(m EnergyModel) Option {
+	return optionFunc(func(n *Network) { n.energy = m })
+}
+
+// WithMTU enables link-layer fragmentation: payloads larger than mtu
+// bytes are split into ⌈size/mtu⌉ frames, each counted as one message.
+// Real mote radios carry 30–100 byte frames; the default (no
+// fragmentation) matches the paper's one-message-per-packet accounting.
+func WithMTU(mtu int) Option {
+	return optionFunc(func(n *Network) { n.mtu = mtu })
+}
+
+// WithLossRate makes every transmission fail independently with
+// probability p (0 ≤ p < 1), deterministically from the given source.
+// Senders still pay for lost frames; link-layer retransmission is the
+// caller's job (dcs.Unicast retries automatically).
+func WithLossRate(p float64, src *rng.Source) Option {
+	return optionFunc(func(n *Network) {
+		n.lossRate = p
+		n.lossSrc = src
+	})
+}
+
+// WithScheduler attaches a discrete-event scheduler so Send can deliver
+// messages asynchronously with per-hop latency.
+func WithScheduler(s *sim.Scheduler, hopLatency time.Duration) Option {
+	return optionFunc(func(n *Network) {
+		n.sched = s
+		n.hopLatency = hopLatency
+	})
+}
+
+// New builds a Network over layout.
+func New(layout *field.Layout, opts ...Option) *Network {
+	n := &Network{
+		layout:     layout,
+		energy:     DefaultEnergyModel(),
+		nodeTx:     make([]uint64, layout.N()),
+		nodeRx:     make([]uint64, layout.N()),
+		nodeEnergy: make([]float64, layout.N()),
+	}
+	for _, o := range opts {
+		o.apply(n)
+	}
+	return n
+}
+
+// Layout returns the deployment the network runs over.
+func (n *Network) Layout() *field.Layout { return n.layout }
+
+// LinkError reports an attempted transmission between nodes that are not
+// radio neighbours.
+type LinkError struct {
+	From, To int
+	Dist     float64
+}
+
+// Error implements error.
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("network: no link %d→%d (distance %.1f m)", e.From, e.To, e.Dist)
+}
+
+// InRange reports whether from and to share a radio link.
+func (n *Network) InRange(from, to int) bool {
+	r := n.layout.Spec.RadioRange
+	return n.layout.Pos(from).Dist2(n.layout.Pos(to)) <= r*r
+}
+
+// Transmit records a single-hop transmission of a payload of the given
+// size from one node to a radio neighbour. It is the only place where
+// traffic counters are incremented.
+func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
+	if from == to {
+		return fmt.Errorf("network: self-transmission at node %d", from)
+	}
+	if !n.InRange(from, to) {
+		return &LinkError{From: from, To: to, Dist: n.layout.Pos(from).Dist(n.layout.Pos(to))}
+	}
+	frames := uint64(1)
+	if n.mtu > 0 && payloadBytes > n.mtu {
+		frames = uint64((payloadBytes + n.mtu - 1) / n.mtu)
+	}
+	n.msgs[kind] += frames
+	n.bytes[kind] += uint64(payloadBytes)
+	n.nodeTx[from] += frames
+
+	bits := float64(payloadBytes * 8)
+	d2 := n.layout.Pos(from).Dist2(n.layout.Pos(to))
+	tx := n.energy.Elec*bits + n.energy.Amp*bits*d2
+	n.energyJ += tx
+	n.nodeEnergy[from] += tx
+	if n.lossRate > 0 && n.lossSrc.Bool(n.lossRate) {
+		// The frame left the sender's radio but never arrived: the sender
+		// paid, the receiver heard nothing.
+		return ErrFrameLost
+	}
+	n.nodeRx[to] += frames
+	rx := n.energy.Elec * bits
+	n.energyJ += rx
+	n.nodeEnergy[to] += rx
+	return nil
+}
+
+// Broadcast transmits one frame from a node to every radio neighbour at
+// once (the wireless broadcast advantage): a single transmission, one
+// reception per neighbour. It returns the neighbours reached. Used by
+// beaconing protocols.
+func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
+	nbrs := n.layout.Neighbors(from)
+	frames := uint64(1)
+	if n.mtu > 0 && payloadBytes > n.mtu {
+		frames = uint64((payloadBytes + n.mtu - 1) / n.mtu)
+	}
+	n.msgs[kind] += frames
+	n.bytes[kind] += uint64(payloadBytes)
+	n.nodeTx[from] += frames
+
+	bits := float64(payloadBytes * 8)
+	r := n.layout.Spec.RadioRange
+	// A broadcast is amplified to full radio range.
+	tx := n.energy.Elec*bits + n.energy.Amp*bits*r*r
+	n.energyJ += tx
+	n.nodeEnergy[from] += tx
+	rx := n.energy.Elec * bits
+	for _, v := range nbrs {
+		n.nodeRx[v] += frames
+		n.energyJ += rx
+		n.nodeEnergy[v] += rx
+	}
+	return nbrs
+}
+
+// NodeEnergy returns the radio energy node id has spent, in joules.
+func (n *Network) NodeEnergy(id int) float64 { return n.nodeEnergy[id] }
+
+// NodeEnergies returns a copy of the per-node energy vector.
+func (n *Network) NodeEnergies() []float64 {
+	out := make([]float64, len(n.nodeEnergy))
+	copy(out, n.nodeEnergy)
+	return out
+}
+
+// Send transmits one hop and then invokes deliver — immediately when no
+// scheduler is attached, or after the hop latency on the attached
+// scheduler. The transmission is accounted either way.
+func (n *Network) Send(from, to int, kind Kind, payloadBytes int, deliver func()) error {
+	if err := n.Transmit(from, to, kind, payloadBytes); err != nil {
+		return err
+	}
+	if deliver == nil {
+		return nil
+	}
+	if n.sched != nil {
+		n.sched.After(n.hopLatency, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+// Snapshot returns a copy of the current traffic counters.
+func (n *Network) Snapshot() Counters {
+	c := Counters{
+		Messages: make(map[Kind]uint64, int(numKinds)),
+		Bytes:    make(map[Kind]uint64, int(numKinds)),
+		EnergyJ:  n.energyJ,
+	}
+	for _, k := range Kinds() {
+		if n.msgs[k] > 0 {
+			c.Messages[k] = n.msgs[k]
+		}
+		if n.bytes[k] > 0 {
+			c.Bytes[k] = n.bytes[k]
+		}
+	}
+	return c
+}
+
+// Diff returns the counters accumulated since an earlier snapshot.
+func (n *Network) Diff(since Counters) Counters {
+	cur := n.Snapshot()
+	out := Counters{
+		Messages: make(map[Kind]uint64, len(cur.Messages)),
+		Bytes:    make(map[Kind]uint64, len(cur.Bytes)),
+		EnergyJ:  cur.EnergyJ - since.EnergyJ,
+	}
+	for k, v := range cur.Messages {
+		if d := v - since.Messages[k]; d > 0 {
+			out.Messages[k] = d
+		}
+	}
+	for k, v := range cur.Bytes {
+		if d := v - since.Bytes[k]; d > 0 {
+			out.Bytes[k] = d
+		}
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (n *Network) Reset() {
+	n.msgs = [numKinds]uint64{}
+	n.bytes = [numKinds]uint64{}
+	n.energyJ = 0
+	for i := range n.nodeTx {
+		n.nodeTx[i] = 0
+		n.nodeRx[i] = 0
+		n.nodeEnergy[i] = 0
+	}
+}
+
+// NodeLoad returns the transmission and reception counts of node id.
+func (n *Network) NodeLoad(id int) (tx, rx uint64) {
+	return n.nodeTx[id], n.nodeRx[id]
+}
+
+// MaxNodeLoad returns the highest tx+rx total over all nodes and the node
+// that bears it — the hotspot metric.
+func (n *Network) MaxNodeLoad() (node int, load uint64) {
+	node = -1
+	for i := range n.nodeTx {
+		if l := n.nodeTx[i] + n.nodeRx[i]; l > load || node < 0 {
+			node, load = i, l
+		}
+	}
+	return node, load
+}

@@ -1,0 +1,331 @@
+// Package node is an event-driven, message-passing implementation of the
+// Pool protocol: every sensor is an actor that reacts to packets
+// delivered hop-by-hop through the radio network on the discrete-event
+// kernel, with per-hop latency.
+//
+// The synchronous pool.System is the protocol's specification — it
+// orchestrates the same algorithms (Theorem 3.1 insertion, Theorem 3.2
+// resolving, §3.2.3 splitter trees) from a single vantage point. This
+// package executes them as real distributed message exchanges: the sink
+// hears nothing until replies physically arrive, splitters gather
+// acknowledgements from their cells before answering, and concurrent
+// operations interleave. Equivalence tests in node_test.go check both
+// implementations return identical result sets on identical workloads.
+//
+// Scope: insertion and range queries (the paper's core). Workload
+// sharing, replication, and aggregates remain on the synchronous system.
+package node
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// DefaultHopLatency is the per-hop transmission plus processing delay.
+const DefaultHopLatency = 5 * time.Millisecond
+
+// pktKind discriminates protocol packets.
+type pktKind int
+
+const (
+	pktInsert    pktKind = iota + 1 // origin → cell index node
+	pktQuery                        // sink → splitter
+	pktCellQuery                    // splitter → cell index node
+	pktCellReply                    // cell index node → splitter (always, as ack)
+	pktPoolReply                    // splitter → sink
+)
+
+// packet is one in-flight protocol message.
+type packet struct {
+	kind    pktKind
+	opID    uint64
+	sink    int
+	poolDim int
+	cell    pool.CellID
+	event   event.Event
+	query   event.Query
+	results []event.Event
+}
+
+// Engine owns the actors and the shared (configuration-time) structures:
+// pools, pivots, and index-node designations — exactly what the paper
+// assumes is predeployed knowledge.
+type Engine struct {
+	layout *field.Layout
+	router *gpsr.Router
+	net    *network.Network
+	sched  *sim.Scheduler
+
+	dims   int
+	pools  []pool.Pool
+	grid   *pool.Grid
+	holder map[pool.CellID]int
+
+	hopLatency time.Duration
+
+	// Per-node storage: the state each actor owns.
+	store []map[storeKey][]event.Event
+
+	// In-flight operation state, keyed by operation id. Gather state
+	// conceptually lives at the gathering node; it is keyed here by
+	// (opID) with the owning node recorded for assertions.
+	ops  map[uint64]*operation
+	seq  uint64
+	errs []error
+}
+
+type storeKey struct {
+	dim  int
+	cell pool.CellID
+}
+
+// operation tracks an in-flight insert or query.
+type operation struct {
+	id   uint64
+	sink int
+	// perPool tracks, per splitter gather, how many cell replies remain.
+	pending map[int]*gather // keyed by pool dim
+	// poolsLeft is how many pool replies the sink still awaits.
+	poolsLeft int
+	results   []event.Event
+	started   time.Duration
+	onDone    func(results []event.Event, elapsed time.Duration)
+}
+
+// gather is the reply-collection state a splitter keeps for one query.
+type gather struct {
+	splitter  int
+	cellsLeft int
+	results   []event.Event
+}
+
+// NewEngine builds the actor network. Pivot placement mirrors
+// pool.New's, so the same rng seed yields the same Pool layout as the
+// synchronous system.
+func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source, pivots []pool.CellID) (*Engine, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("node: dimensionality must be ≥ 1, got %d", dims)
+	}
+	layout := net.Layout()
+	grid, err := pool.NewGrid(layout.Bounds(), pool.DefaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	if pivots == nil {
+		// Reuse pool.New to perform the identical pivot draw, then copy
+		// its layout.
+		probe, err := pool.New(network.New(layout), router, dims, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range probe.Pools() {
+			pivots = append(pivots, p.Pivot)
+		}
+	}
+	if len(pivots) != dims {
+		return nil, fmt.Errorf("node: %d pivots for %d dimensions", len(pivots), dims)
+	}
+
+	e := &Engine{
+		layout:     layout,
+		router:     router,
+		net:        net,
+		sched:      sched,
+		dims:       dims,
+		grid:       grid,
+		holder:     make(map[pool.CellID]int),
+		hopLatency: DefaultHopLatency,
+		store:      make([]map[storeKey][]event.Event, layout.N()),
+		ops:        make(map[uint64]*operation),
+	}
+	for i := range e.store {
+		e.store[i] = make(map[storeKey][]event.Event)
+	}
+	for i, pc := range pivots {
+		if pc.X < 0 || pc.Y < 0 || pc.X+pool.DefaultSide > grid.Cols || pc.Y+pool.DefaultSide > grid.Rows {
+			return nil, fmt.Errorf("node: pivot %v does not fit the grid", pc)
+		}
+		e.pools = append(e.pools, pool.Pool{Dim: i + 1, Pivot: pc, Side: pool.DefaultSide})
+	}
+	for _, p := range e.pools {
+		for _, c := range p.Cells() {
+			if _, ok := e.holder[c]; !ok {
+				e.holder[c] = layout.Nearest(grid.Center(c))
+			}
+		}
+	}
+	return e, nil
+}
+
+// Errors returns transport errors recorded during the run (nil when the
+// run was clean). Errors abort the affected operation, not the engine.
+func (e *Engine) Errors() []error { return e.errs }
+
+// Pools returns the engine's Pool layout.
+func (e *Engine) Pools() []pool.Pool { return e.pools }
+
+// send moves a packet from one node to another hop by hop; each hop is a
+// scheduled radio transmission. deliver runs at the destination when the
+// last hop lands.
+func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func()) {
+	if from == to {
+		e.sched.After(0, deliver)
+		return
+	}
+	res, err := e.router.RouteToNode(from, to)
+	if err != nil {
+		e.errs = append(e.errs, fmt.Errorf("node: send %d→%d: %w", from, to, err))
+		return
+	}
+	path := res.Path
+	var hop func(i int)
+	hop = func(i int) {
+		if i >= len(path)-1 {
+			deliver()
+			return
+		}
+		if err := e.net.Transmit(path[i], path[i+1], kind, size); err != nil {
+			e.errs = append(e.errs, fmt.Errorf("node: transmit: %w", err))
+			return
+		}
+		e.sched.After(e.hopLatency, func() { hop(i + 1) })
+	}
+	hop(0)
+}
+
+// Insert injects an event at its detecting sensor. done (optional) fires
+// when the index node has stored it.
+func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
+	if err := ev.Validate(); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	if ev.Dims() != e.dims {
+		return fmt.Errorf("node: event has %d dims, engine built for %d", ev.Dims(), e.dims)
+	}
+	// §4.1 tie rule, identical to the synchronous system.
+	dims := event.GreatestDims(ev)
+	originCell := e.grid.CellOf(e.layout.Pos(origin))
+	bestDim, bestCell, bestDist := -1, pool.CellID{}, math.Inf(1)
+	for _, d := range dims {
+		cell := e.pools[d-1].InsertCell(ev.Values[d-1], event.SecondGreatest(ev, d))
+		if dist := pool.CellDist(cell, originCell); dist < bestDist {
+			bestDim, bestCell, bestDist = d, cell, dist
+		}
+	}
+	index := e.holder[bestCell]
+	key := storeKey{dim: bestDim, cell: bestCell}
+	e.send(origin, index, network.KindInsert, dcs.EventBytes(e.dims), func() {
+		e.store[index][key] = append(e.store[index][key], ev)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// Query issues a range query at the sink. onDone fires when the last pool
+// reply lands, with the gathered results and the elapsed virtual time.
+func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Event, elapsed time.Duration)) error {
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	if q.Dims() != e.dims {
+		return fmt.Errorf("node: query has %d dims, engine built for %d", q.Dims(), e.dims)
+	}
+	rq := q.Rewrite()
+	e.seq++
+	op := &operation{
+		id:      e.seq,
+		sink:    sink,
+		pending: make(map[int]*gather),
+		started: e.sched.Now(),
+		onDone:  onDone,
+	}
+	e.ops[op.id] = op
+
+	type poolPlan struct {
+		p     pool.Pool
+		cells []pool.CellID
+	}
+	var plans []poolPlan
+	for _, p := range e.pools {
+		if cells := p.RelevantCells(rq); len(cells) > 0 {
+			plans = append(plans, poolPlan{p: p, cells: cells})
+		}
+	}
+	op.poolsLeft = len(plans)
+	if len(plans) == 0 {
+		e.sched.After(0, func() { e.finish(op) })
+		return nil
+	}
+	qBytes := dcs.QueryBytes(e.dims)
+	for _, plan := range plans {
+		plan := plan
+		splitter := e.splitterFor(plan.p, sink)
+		e.send(sink, splitter, network.KindQuery, qBytes, func() {
+			e.runSplitter(op, plan.p, splitter, plan.cells, rq)
+		})
+	}
+	return nil
+}
+
+// runSplitter executes the splitter role: fan the query out to every
+// relevant cell and gather one reply (possibly empty — the ack that makes
+// completion detectable) from each.
+func (e *Engine) runSplitter(op *operation, p pool.Pool, splitter int, cells []pool.CellID, rq event.Query) {
+	g := &gather{splitter: splitter, cellsLeft: len(cells)}
+	op.pending[p.Dim] = g
+	qBytes := dcs.QueryBytes(e.dims)
+	for _, c := range cells {
+		c := c
+		index := e.holder[c]
+		key := storeKey{dim: p.Dim, cell: c}
+		e.send(splitter, index, network.KindQuery, qBytes, func() {
+			matches := rq.Filter(e.store[index][key])
+			e.send(index, splitter, network.KindReply, dcs.ReplyBytes(e.dims, len(matches)), func() {
+				g.results = append(g.results, matches...)
+				g.cellsLeft--
+				if g.cellsLeft == 0 {
+					e.send(splitter, op.sink, network.KindReply,
+						dcs.ReplyBytes(e.dims, len(g.results)), func() {
+							op.results = append(op.results, g.results...)
+							op.poolsLeft--
+							if op.poolsLeft == 0 {
+								e.finish(op)
+							}
+						})
+				}
+			})
+		})
+	}
+}
+
+func (e *Engine) finish(op *operation) {
+	delete(e.ops, op.id)
+	if op.onDone != nil {
+		op.onDone(op.results, e.sched.Now()-op.started)
+	}
+}
+
+// splitterFor mirrors pool.System.SplitterFor.
+func (e *Engine) splitterFor(p pool.Pool, sink int) int {
+	sinkPos := e.layout.Pos(sink)
+	best, bestD2 := -1, math.Inf(1)
+	for _, c := range p.Cells() {
+		h := e.holder[c]
+		if d2 := e.layout.Pos(h).Dist2(sinkPos); d2 < bestD2 {
+			best, bestD2 = h, d2
+		}
+	}
+	return best
+}

@@ -1,0 +1,256 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// fixture builds an async engine and a synchronous pool.System over the
+// same deployment with the same pivots.
+type fixture struct {
+	layout *field.Layout
+	sched  *sim.Scheduler
+	engine *Engine
+	sync   *pool.System
+	asyncN *network.Network
+	syncN  *network.Network
+}
+
+func newFixture(t testing.TB, n int, seed int64) *fixture {
+	t.Helper()
+	layout, err := field.Generate(field.DefaultSpec(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := gpsr.New(layout)
+	sched := sim.NewScheduler()
+	asyncNet := network.New(layout)
+	syncNet := network.New(layout)
+
+	syncSys, err := pool.New(syncNet, router, 3, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pivots []pool.CellID
+	for _, p := range syncSys.Pools() {
+		pivots = append(pivots, p.Pivot)
+	}
+	eng, err := NewEngine(asyncNet, router, sched, 3, nil, pivots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{layout: layout, sched: sched, engine: eng, sync: syncSys, asyncN: asyncNet, syncN: syncNet}
+}
+
+func (f *fixture) noErrors(t *testing.T) {
+	t.Helper()
+	if errs := f.engine.Errors(); len(errs) > 0 {
+		t.Fatalf("engine errors: %v", errs)
+	}
+}
+
+func TestEngineMatchesSpecOnWorkload(t *testing.T) {
+	f := newFixture(t, 300, 200)
+	src := rng.New(201)
+
+	// Insert the same events into both implementations.
+	var all []event.Event
+	for i := 0; i < 300; i++ {
+		e := event.Event{
+			Values: []float64{src.Float64(), src.Float64(), src.Float64()},
+			Seq:    uint64(i + 1),
+		}
+		all = append(all, e)
+		origin := src.Intn(300)
+		if err := f.engine.Insert(origin, e, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.sync.Insert(origin, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.sched.Run() // flush all inserts
+	f.noErrors(t)
+
+	queries := []event.Query{
+		event.NewQuery(event.Span(0.2, 0.5), event.Span(0.1, 0.9), event.Span(0, 1)),
+		event.NewQuery(event.Unspecified(), event.Unspecified(), event.Span(0.8, 0.84)),
+		event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)),
+		event.NewQuery(event.Span(0.9, 0.95), event.Span(0.9, 0.95), event.Span(0.9, 0.95)),
+	}
+	for qi, q := range queries {
+		sink := src.Intn(300)
+		want, err := f.sync.Query(sink, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var got []event.Event
+		doneAt := time.Duration(-1)
+		if err := f.engine.Query(sink, q, func(results []event.Event, elapsed time.Duration) {
+			got = results
+			doneAt = elapsed
+		}); err != nil {
+			t.Fatal(err)
+		}
+		f.sched.Run()
+		f.noErrors(t)
+		if doneAt < 0 {
+			t.Fatalf("query %d never completed", qi)
+		}
+
+		wantSet := make(map[uint64]bool, len(want))
+		for _, e := range want {
+			wantSet[e.Seq] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: async %d results, sync %d", qi, len(got), len(want))
+		}
+		for _, e := range got {
+			if !wantSet[e.Seq] {
+				t.Fatalf("query %d: async returned %d, not in sync results", qi, e.Seq)
+			}
+		}
+		// Completion time must reflect at least one network round trip
+		// unless nothing was relevant.
+		if len(want) > 0 && doneAt <= 0 {
+			t.Errorf("query %d: zero elapsed time", qi)
+		}
+	}
+}
+
+func TestAsyncLatencyBelowSequentialSum(t *testing.T) {
+	f := newFixture(t, 300, 202)
+	src := rng.New(203)
+	for i := 0; i < 300; i++ {
+		e := event.Event{Values: []float64{src.Float64(), src.Float64(), src.Float64()}, Seq: uint64(i + 1)}
+		if err := f.engine.Insert(src.Intn(300), e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.sched.Run()
+
+	// Full-domain query: many cells answer. The elapsed time must be far
+	// below (total messages × hop latency) because branches run in
+	// parallel.
+	q := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+	before := f.asyncN.Snapshot()
+	var elapsed time.Duration
+	if err := f.engine.Query(0, q, func(_ []event.Event, d time.Duration) { elapsed = d }); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run()
+	f.noErrors(t)
+	diff := f.asyncN.Diff(before)
+	total := diff.Messages[network.KindQuery] + diff.Messages[network.KindReply]
+	sequential := time.Duration(total) * DefaultHopLatency
+	if elapsed <= 0 || elapsed >= sequential/2 {
+		t.Errorf("elapsed %v not well below sequential bound %v (total %d msgs)", elapsed, sequential, total)
+	}
+}
+
+func TestConcurrentQueriesInterleave(t *testing.T) {
+	f := newFixture(t, 300, 204)
+	src := rng.New(205)
+	for i := 0; i < 200; i++ {
+		e := event.Event{Values: []float64{src.Float64(), src.Float64(), src.Float64()}, Seq: uint64(i + 1)}
+		if err := f.engine.Insert(src.Intn(300), e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.sched.Run()
+
+	// Launch many queries before running the scheduler: all in flight at
+	// once.
+	const queries = 20
+	done := 0
+	for i := 0; i < queries; i++ {
+		lo := src.Float64() * 0.7
+		q := event.NewQuery(event.Span(lo, lo+0.2), event.Unspecified(), event.Unspecified())
+		if err := f.engine.Query(src.Intn(300), q, func(_ []event.Event, _ time.Duration) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.sched.Run()
+	f.noErrors(t)
+	if done != queries {
+		t.Fatalf("%d of %d concurrent queries completed", done, queries)
+	}
+}
+
+func TestInsertCompletionCallback(t *testing.T) {
+	f := newFixture(t, 300, 206)
+	stored := false
+	e := event.Event{Values: []float64{0.4, 0.3, 0.1}, Seq: 1}
+	if err := f.engine.Insert(5, e, func() { stored = true }); err != nil {
+		t.Fatal(err)
+	}
+	if stored {
+		t.Fatal("insert completed before the scheduler ran")
+	}
+	f.sched.Run()
+	if !stored {
+		t.Fatal("insert never completed")
+	}
+	if f.asyncN.Snapshot().Messages[network.KindInsert] == 0 {
+		t.Error("insert moved no packets")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	f := newFixture(t, 300, 207)
+	if err := f.engine.Insert(0, event.Event{Values: []float64{2, 0, 0}}, nil); err == nil {
+		t.Error("invalid event accepted")
+	}
+	if err := f.engine.Insert(0, event.Event{Values: []float64{0.1, 0.2}}, nil); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := f.engine.Query(0, event.NewQuery(event.Span(0.9, 0.1), event.Span(0, 1), event.Span(0, 1)), nil); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if err := f.engine.Query(0, event.NewQuery(event.Span(0, 1)), nil); err == nil {
+		t.Error("wrong query dims accepted")
+	}
+}
+
+func TestEmptyQueryCompletes(t *testing.T) {
+	f := newFixture(t, 300, 208)
+	// No events stored, and a query touching nothing still completes.
+	completed := false
+	q := event.NewQuery(event.Span(0.01, 0.02), event.Span(0.9, 0.91), event.Span(0.9, 0.91))
+	if err := f.engine.Query(3, q, func(results []event.Event, _ time.Duration) {
+		completed = true
+		if len(results) != 0 {
+			t.Errorf("results = %v", results)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run()
+	if !completed {
+		t.Fatal("empty query never completed")
+	}
+}
+
+func TestEngineRandomPivots(t *testing.T) {
+	layout, err := field.Generate(field.DefaultSpec(300), rng.New(209))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := gpsr.New(layout)
+	eng, err := NewEngine(network.New(layout), router, sim.NewScheduler(), 3, rng.New(210), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Pools()) != 3 {
+		t.Fatalf("pools = %v", eng.Pools())
+	}
+}

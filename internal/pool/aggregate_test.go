@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"math"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+)
+
+func TestAggOpString(t *testing.T) {
+	for _, op := range []AggOp{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if op.String() == "" {
+			t.Errorf("AggOp %d has empty String", int(op))
+		}
+	}
+	if AggOp(42).String() == "" {
+		t.Error("unknown op has empty String")
+	}
+}
+
+func aggFixture(t *testing.T) (*System, *network.Network, []event.Event) {
+	t.Helper()
+	s, net := newSystem(t, 300, 80)
+	src := rng.New(81)
+	var all []event.Event
+	for i := 0; i < 250; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		all = append(all, e)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, net, all
+}
+
+func TestAggregateMatchesBruteForce(t *testing.T) {
+	s, _, all := aggFixture(t)
+	q := event.NewQuery(event.Span(0.1, 0.8), event.Span(0.2, 0.9), event.Unspecified())
+	want := q.Rewrite().Filter(all)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no matching events")
+	}
+
+	count, err := s.Aggregate(7, q, AggCount, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != len(want) {
+		t.Errorf("COUNT = %v, want %d", count, len(want))
+	}
+
+	var sum, minV, maxV float64
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for _, e := range want {
+		v := e.Values[1]
+		sum += v
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+
+	gotSum, err := s.Aggregate(7, q, AggSum, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Errorf("SUM = %v, want %v", gotSum, sum)
+	}
+
+	gotAvg, err := s.Aggregate(7, q, AggAvg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotAvg-sum/float64(len(want))) > 1e-9 {
+		t.Errorf("AVG = %v, want %v", gotAvg, sum/float64(len(want)))
+	}
+
+	gotMin, err := s.Aggregate(7, q, AggMin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMin != minV {
+		t.Errorf("MIN = %v, want %v", gotMin, minV)
+	}
+
+	gotMax, err := s.Aggregate(7, q, AggMax, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMax != maxV {
+		t.Errorf("MAX = %v, want %v", gotMax, maxV)
+	}
+}
+
+func TestAggregateEmptyResult(t *testing.T) {
+	s, _ := newSystem(t, 300, 82)
+	q := event.NewQuery(event.Span(0.9, 0.95), event.Span(0.9, 0.95), event.Span(0.9, 0.95))
+	count, err := s.Aggregate(0, q, AggCount, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("COUNT over empty store = %v", count)
+	}
+	if _, err := s.Aggregate(0, q, AggAvg, 1); err == nil {
+		t.Error("AVG over empty result must fail")
+	}
+	if _, err := s.Aggregate(0, q, AggMin, 1); err == nil {
+		t.Error("MIN over empty result must fail")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	s, _ := newSystem(t, 300, 83)
+	q := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+	if _, err := s.Aggregate(0, q, AggSum, 0); err == nil {
+		t.Error("dim 0 accepted for SUM")
+	}
+	if _, err := s.Aggregate(0, q, AggSum, 4); err == nil {
+		t.Error("dim out of range accepted")
+	}
+	bad := event.NewQuery(event.Span(0.5, 0.1), event.Span(0, 1), event.Span(0, 1))
+	if _, err := s.Aggregate(0, bad, AggCount, 0); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+// TestAggregateCheaperThanFullQuery verifies the §3.2.3 claim: aggregation
+// at splitters moves fewer bytes than shipping every qualifying event.
+func TestAggregateCheaperThanFullQuery(t *testing.T) {
+	s, net, _ := aggFixture(t)
+	q := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+
+	before := net.Snapshot()
+	if _, err := s.Query(7, q); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := net.Diff(before).Bytes[network.KindReply]
+
+	before = net.Snapshot()
+	if _, err := s.Aggregate(7, q, AggCount, 0); err != nil {
+		t.Fatal(err)
+	}
+	aggBytes := net.Diff(before).Bytes[network.KindReply]
+
+	if aggBytes >= fullBytes {
+		t.Errorf("aggregate reply bytes %d not below full-query %d", aggBytes, fullBytes)
+	}
+}

@@ -1,0 +1,132 @@
+package pool
+
+import (
+	"fmt"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/network"
+)
+
+// Subscription is a standing (continuous) query: after registration,
+// every newly inserted event matching the query is pushed from its index
+// node to the subscriber, without polling. Continuous monitoring is the
+// §6 extension the paper announces as ongoing work; it composes naturally
+// with Pool because Theorem 3.2 pins the exact cells any future matching
+// event can land in, so registrations touch only those index nodes.
+type Subscription struct {
+	// ID is unique per system.
+	ID uint64
+	// Sink is the subscribing node.
+	Sink int
+	// Query is the standing predicate (stored rewritten).
+	Query event.Query
+
+	keys []storeKey
+}
+
+// Subscribe registers a continuous query issued by sink. Registration
+// traffic follows the same splitter tree as a one-shot query; matching
+// events already stored are NOT reported (use Query for the history).
+func (s *System) Subscribe(sink int, q event.Query) (*Subscription, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	if q.Dims() != s.dims {
+		return nil, fmt.Errorf("pool: query has %d dims, system built for %d", q.Dims(), s.dims)
+	}
+	rq := q.Rewrite()
+	s.subSeq++
+	sub := &Subscription{ID: s.subSeq, Sink: sink, Query: rq}
+	qBytes := dcs.QueryBytes(s.dims)
+
+	for _, p := range s.pools {
+		cells := p.RelevantCells(rq)
+		if len(cells) == 0 {
+			continue
+		}
+		splitter := s.SplitterFor(p, sink)
+		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindControl, qBytes); err != nil {
+			return nil, fmt.Errorf("pool: subscribe to splitter: %w", err)
+		}
+		for _, c := range cells {
+			index := s.holder[c]
+			if index != splitter {
+				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindControl, qBytes); err != nil {
+					return nil, fmt.Errorf("pool: subscribe to cell %v: %w", c, err)
+				}
+			}
+			key := storeKey{dim: p.Dim, cell: c}
+			sub.keys = append(sub.keys, key)
+			if s.subs == nil {
+				s.subs = make(map[storeKey][]*Subscription)
+			}
+			s.subs[key] = append(s.subs[key], sub)
+		}
+	}
+	return sub, nil
+}
+
+// Unsubscribe removes a standing query. Deregistration traffic follows
+// the same paths as registration.
+func (s *System) Unsubscribe(sub *Subscription) error {
+	if sub == nil {
+		return fmt.Errorf("pool: nil subscription")
+	}
+	qBytes := dcs.QueryBytes(s.dims)
+	removedAny := false
+	for _, key := range sub.keys {
+		list := s.subs[key]
+		for i, registered := range list {
+			if registered.ID != sub.ID {
+				continue
+			}
+			s.subs[key] = append(list[:i], list[i+1:]...)
+			removedAny = true
+			// One control message from the sink's side of the tree; we
+			// charge sink→index directly (the tree edges coincide).
+			if _, err := dcs.Unicast(s.net, s.router, sub.Sink, s.holder[key.cell], network.KindControl, qBytes); err != nil {
+				return fmt.Errorf("pool: unsubscribe cell %v: %w", key.cell, err)
+			}
+			break
+		}
+	}
+	if !removedAny {
+		return fmt.Errorf("pool: subscription %d not registered", sub.ID)
+	}
+	sub.keys = nil
+	return nil
+}
+
+// Notification is one pushed match of a continuous query.
+type Notification struct {
+	SubscriptionID uint64
+	Sink           int
+	Event          event.Event
+}
+
+// Notifications returns the pushed matches accumulated so far and clears
+// the buffer. In a deployed system these would arrive at the sinks
+// asynchronously; the simulator buffers them for inspection.
+func (s *System) Notifications() []Notification {
+	out := s.pending
+	s.pending = nil
+	return out
+}
+
+// notifySubscribers pushes a freshly stored event to every standing query
+// registered at its cell. Called from storeEvent with the index node that
+// received the event.
+func (s *System) notifySubscribers(key storeKey, index int, e event.Event) error {
+	for _, sub := range s.subs[key] {
+		if !sub.Query.Matches(e) {
+			continue
+		}
+		if _, err := dcs.Unicast(s.net, s.router, index, sub.Sink, network.KindReply,
+			dcs.ReplyBytes(s.dims, 1)); err != nil {
+			return fmt.Errorf("pool: notify sink %d: %w", sub.Sink, err)
+		}
+		s.pending = append(s.pending, Notification{SubscriptionID: sub.ID, Sink: sub.Sink, Event: e})
+	}
+	return nil
+}

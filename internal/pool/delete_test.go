@@ -1,0 +1,156 @@
+package pool
+
+import (
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+)
+
+func deleteFixture(t *testing.T, opts ...Option) (*System, *network.Network, []event.Event) {
+	t.Helper()
+	s, net := newSystem(t, 300, 130, opts...)
+	src := rng.New(131)
+	var all []event.Event
+	for i := 0; i < 300; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		all = append(all, e)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, net, all
+}
+
+func TestDeleteRemovesMatchingEvents(t *testing.T) {
+	s, net, all := deleteFixture(t)
+	q := event.NewQuery(event.Span(0.5, 1), event.Unspecified(), event.Unspecified())
+	want := q.Rewrite().Filter(all)
+	if len(want) == 0 {
+		t.Fatal("vacuous fixture")
+	}
+
+	before := net.Snapshot()
+	removed, err := s.Delete(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(want) {
+		t.Fatalf("removed %d, want %d", removed, len(want))
+	}
+	if net.Diff(before).Total() == 0 {
+		t.Error("delete generated no traffic")
+	}
+
+	// Deleted events are gone; the rest survive.
+	got, err := s.Query(0, event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-removed {
+		t.Errorf("after delete, %d events remain, want %d", len(got), len(all)-removed)
+	}
+	for _, e := range got {
+		if q.Rewrite().Matches(e) {
+			t.Fatalf("deleted event %d still retrievable", e.Seq)
+		}
+	}
+
+	// Storage accounting is consistent.
+	total := 0
+	for _, l := range s.StorageLoad() {
+		total += l
+	}
+	if total != len(all)-removed {
+		t.Errorf("storage load totals %d, want %d", total, len(all)-removed)
+	}
+}
+
+func TestDeleteNoMatches(t *testing.T) {
+	s, _, _ := deleteFixture(t)
+	removed, err := s.Delete(0, event.NewQuery(
+		event.Span(0.999, 1), event.Span(0.999, 1), event.Span(0.999, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Errorf("removed %d from a no-match delete", removed)
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	s, _ := newSystem(t, 300, 132)
+	if _, err := s.Delete(0, event.NewQuery(event.Span(0.9, 0.1), event.Span(0, 1), event.Span(0, 1))); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := s.Delete(0, event.NewQuery(event.Span(0, 1))); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+}
+
+func TestDeletePrunesMirrors(t *testing.T) {
+	s, _, all := deleteFixture(t, WithReplication())
+	q := event.NewQuery(event.Unspecified(), event.Span(0, 0.5), event.Unspecified())
+	removed, err := s.Delete(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("vacuous delete")
+	}
+	// After a failure, recovery must not resurrect deleted events.
+	victim, max := -1, 0
+	for i, l := range s.StorageLoad() {
+		if l > max {
+			victim, max = i, l
+		}
+	}
+	if err := s.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(pickAlive(s), event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := q.Rewrite()
+	for _, e := range got {
+		if rq.Matches(e) {
+			t.Fatalf("deleted event %d resurrected by recovery", e.Seq)
+		}
+	}
+	if len(got) != len(all)-removed {
+		t.Errorf("recall after delete+failure = %d, want %d", len(got), len(all)-removed)
+	}
+}
+
+func TestDeleteFromDelegatedSegments(t *testing.T) {
+	s, _ := newSystem(t, 300, 133, WithWorkloadSharing(10))
+	src := rng.New(134)
+	const n = 80
+	for i := 0; i < n; i++ {
+		e := event.New(0.9, 0.5, 0.1)
+		e.Seq = uint64(i + 1)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Delegations() == 0 {
+		t.Fatal("fixture produced no delegations")
+	}
+	removed, err := s.Delete(0, event.NewQuery(event.Span(0.85, 0.95), event.Span(0.45, 0.55), event.Span(0.05, 0.15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != n {
+		t.Errorf("removed %d, want %d across delegated segments", removed, n)
+	}
+	got, err := s.Query(0, event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("%d events survive a full delete", len(got))
+	}
+}

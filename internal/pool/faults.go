@@ -1,0 +1,158 @@
+package pool
+
+import (
+	"fmt"
+	"math"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/network"
+)
+
+// Replication and node failure are extensions beyond the paper (which
+// assumes reliable nodes): cell-level mirroring in the spirit of the
+// resilient-DCS work the paper cites ([7] Ghose et al.). When enabled,
+// every event stored in a cell is also copied to the cell's mirror node —
+// the second-closest node to the cell centre, one hop from the index
+// node. When a node fails, each of its cells re-elects the closest
+// surviving node as index; with mirroring the cell's data is recovered
+// from the mirror, otherwise the failed node's segments are lost.
+
+// WithReplication enables cell-level mirroring.
+func WithReplication() Option {
+	return optionFunc(func(c *config) { c.replicate = true })
+}
+
+// Failed reports whether a node has been marked failed.
+func (s *System) Failed(id int) bool { return s.dead[id] }
+
+// RecoveryMessages returns the control messages spent restoring cells
+// after failures.
+func (s *System) RecoveryMessages() uint64 { return s.recoveryMsgs }
+
+// FailNode marks a node as failed and repairs every Pool cell it served:
+// the closest surviving node becomes the cell's index node, and the
+// cell's storage segments held by the failed node are restored from the
+// mirror when replication is enabled (charged as recovery traffic) or
+// dropped otherwise. Queries and inserts issued afterwards use the new
+// index node transparently.
+func (s *System) FailNode(id int) error {
+	if id < 0 || id >= len(s.dead) {
+		return fmt.Errorf("pool: node %d out of range", id)
+	}
+	if s.dead[id] {
+		return nil
+	}
+	s.dead[id] = true
+
+	// Re-elect index nodes for the failed node's cells.
+	for cell, holder := range s.holder {
+		if holder != id {
+			continue
+		}
+		next := s.nearestAliveTo(s.grid.Center(cell), -1)
+		if next < 0 {
+			return fmt.Errorf("pool: no surviving node for cell %v", cell)
+		}
+		s.holder[cell] = next
+	}
+
+	// Repair or drop storage segments held by the failed node.
+	for key, segs := range s.store {
+		changed := false
+		for i := range segs {
+			if segs[i].node != id {
+				continue
+			}
+			lost := segs[i].events
+			s.stored[id] -= len(lost)
+			if s.replicate {
+				mirror := s.mirrors[key]
+				if mirror >= 0 && !s.dead[mirror] {
+					// Restore the segment from the mirror copy onto the
+					// cell's (possibly re-elected) index node.
+					target := s.holder[key.cell]
+					recovered := intersectBySeq(s.mirrorStore[key], lost)
+					segs[i] = segment{node: target, events: recovered}
+					s.stored[target] += len(recovered)
+					if target != mirror {
+						if _, err := dcs.Unicast(s.net, s.router, mirror, target,
+							network.KindControl, dcs.ReplyBytes(s.dims, len(recovered))); err != nil {
+							return fmt.Errorf("pool: recovery transfer: %w", err)
+						}
+					}
+					s.recoveryMsgs++
+					changed = true
+					continue
+				}
+			}
+			// No replica: the segment's events are lost.
+			segs[i] = segment{node: s.holder[key.cell]}
+			changed = true
+		}
+		if changed {
+			s.store[key] = segs
+		}
+	}
+
+	// Mirrors held by the failed node are re-homed (their content was a
+	// copy; re-copy from the primary segments).
+	if s.replicate {
+		for key, mirror := range s.mirrors {
+			if mirror != id {
+				continue
+			}
+			index := s.holder[key.cell]
+			next := s.nearestAliveTo(s.grid.Center(key.cell), index)
+			s.mirrors[key] = next
+			if next >= 0 {
+				var live []event.Event
+				for _, seg := range s.store[key] {
+					live = append(live, seg.events...)
+				}
+				s.mirrorStore[key] = append([]event.Event(nil), live...)
+				if len(live) > 0 && index != next {
+					if _, err := dcs.Unicast(s.net, s.router, index, next,
+						network.KindControl, dcs.ReplyBytes(s.dims, len(live))); err != nil {
+						return fmt.Errorf("pool: mirror re-home: %w", err)
+					}
+					s.recoveryMsgs++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nearestAliveTo returns the alive node closest to p, excluding one id,
+// or -1 when every node is dead.
+func (s *System) nearestAliveTo(p geo.Point, exclude int) int {
+	layout := s.net.Layout()
+	best, bestD2 := -1, math.Inf(1)
+	for i := 0; i < layout.N(); i++ {
+		if i == exclude || s.dead[i] {
+			continue
+		}
+		if d2 := layout.Pos(i).Dist2(p); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best
+}
+
+// intersectBySeq returns the mirror events whose sequence numbers appear
+// in the lost segment, preserving mirror order.
+func intersectBySeq(mirror, lost []event.Event) []event.Event {
+	want := make(map[uint64]bool, len(lost))
+	for _, e := range lost {
+		want[e.Seq] = true
+	}
+	var out []event.Event
+	for _, e := range mirror {
+		if want[e.Seq] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

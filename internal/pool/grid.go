@@ -1,0 +1,100 @@
+// Package pool implements the paper's contribution: the Pool data-centric
+// storage scheme for multi-dimensional range queries (§3).
+//
+// The deployment field is divided into α×α grid cells; the node closest to
+// a cell's centre acts as its index node. For k-dimensional events, k
+// Pools — l×l blocks of cells anchored at pivot cells — store every event
+// in the Pool of its greatest attribute and the cell determined by its
+// greatest and second-greatest values (Theorem 3.1). Queries visit only
+// the cells whose Equation-1 value ranges intersect the Theorem-3.2 ranges
+// derived from the query, reaching them through one splitter per Pool
+// (§3.2.3).
+package pool
+
+import (
+	"fmt"
+
+	"pooldcs/internal/geo"
+)
+
+// CellID identifies a grid cell C(x, y): x is the column and y the row,
+// both starting at 0 at the field's lower-left corner (§2).
+type CellID struct {
+	X, Y int
+}
+
+// String implements fmt.Stringer using the paper's C(x,y) notation.
+func (c CellID) String() string { return fmt.Sprintf("C(%d,%d)", c.X, c.Y) }
+
+// Add offsets a cell by (ho, vo).
+func (c CellID) Add(ho, vo int) CellID { return CellID{X: c.X + ho, Y: c.Y + vo} }
+
+// Grid divides a square field into α×α cells.
+type Grid struct {
+	// Origin is the physical location of the lower-left corner of C(0,0).
+	Origin geo.Point
+	// Alpha is the cell side length in metres.
+	Alpha float64
+	// Cols and Rows give the grid extent.
+	Cols, Rows int
+}
+
+// NewGrid covers bounds with cells of side alpha. Cells at the top/right
+// may extend past the bounds when the side is not a multiple of alpha.
+func NewGrid(bounds geo.Rect, alpha float64) (*Grid, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("pool: cell size must be positive, got %v", alpha)
+	}
+	cols := int(bounds.Width()/alpha + 0.999999)
+	rows := int(bounds.Height()/alpha + 0.999999)
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("pool: field %v too small for cells of %v m", bounds, alpha)
+	}
+	return &Grid{Origin: bounds.Min, Alpha: alpha, Cols: cols, Rows: rows}, nil
+}
+
+// CellOf returns the cell containing physical point p, using the paper's
+// floor rule x = ⌊(a − x_orig)/α⌋. Points outside the grid are clamped to
+// the border cells.
+func (g *Grid) CellOf(p geo.Point) CellID {
+	x := int((p.X - g.Origin.X) / g.Alpha)
+	y := int((p.Y - g.Origin.Y) / g.Alpha)
+	return CellID{X: clamp(x, 0, g.Cols-1), Y: clamp(y, 0, g.Rows-1)}
+}
+
+// Center returns the physical centre of cell c, the point insertions and
+// queries are routed to.
+func (g *Grid) Center(c CellID) geo.Point {
+	return geo.Pt(
+		g.Origin.X+(float64(c.X)+0.5)*g.Alpha,
+		g.Origin.Y+(float64(c.Y)+0.5)*g.Alpha,
+	)
+}
+
+// Rect returns the physical extent of cell c.
+func (g *Grid) Rect(c CellID) geo.Rect {
+	min := geo.Pt(g.Origin.X+float64(c.X)*g.Alpha, g.Origin.Y+float64(c.Y)*g.Alpha)
+	return geo.Rect{Min: min, Max: geo.Pt(min.X+g.Alpha, min.Y+g.Alpha)}
+}
+
+// Contains reports whether c lies within the grid.
+func (g *Grid) Contains(c CellID) bool {
+	return c.X >= 0 && c.X < g.Cols && c.Y >= 0 && c.Y < g.Rows
+}
+
+// CellDist returns the Euclidean distance between two cell centres in cell
+// units, used by the §4.1 closest-candidate rule.
+func CellDist(a, b CellID) float64 {
+	dx, dy := float64(a.X-b.X), float64(a.Y-b.Y)
+	return dx*dx + dy*dy // squared is fine for comparisons; keep monotone
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"testing"
+
+	"pooldcs/internal/geo"
+	"pooldcs/internal/rng"
+)
+
+func TestNewGrid(t *testing.T) {
+	g, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 20 || g.Rows != 20 {
+		t.Errorf("grid = %d×%d, want 20×20", g.Cols, g.Rows)
+	}
+
+	// Non-divisible side rounds the grid up.
+	g2, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(101, 101)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Cols != 21 || g2.Rows != 21 {
+		t.Errorf("grid = %d×%d, want 21×21", g2.Cols, g2.Rows)
+	}
+
+	if _, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+}
+
+func TestCellOfUsesFloorRule(t *testing.T) {
+	g, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p    geo.Point
+		want CellID
+	}{
+		{geo.Pt(0, 0), CellID{0, 0}},
+		{geo.Pt(4.9, 4.9), CellID{0, 0}},
+		{geo.Pt(5, 0), CellID{1, 0}},
+		{geo.Pt(12.5, 37.5), CellID{2, 7}},
+		{geo.Pt(99.9, 99.9), CellID{19, 19}},
+		{geo.Pt(-3, 50), CellID{0, 10}},    // clamped
+		{geo.Pt(500, 500), CellID{19, 19}}, // clamped
+	}
+	for _, tt := range tests {
+		if got := g.CellOf(tt.p); got != tt.want {
+			t.Errorf("CellOf(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCellOfWithOffsetOrigin(t *testing.T) {
+	g, err := NewGrid(geo.Rect{Min: geo.Pt(10, 20), Max: geo.Pt(60, 70)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CellOf(geo.Pt(10, 20)); got != (CellID{0, 0}) {
+		t.Errorf("origin cell = %v", got)
+	}
+	if got := g.CellOf(geo.Pt(17, 33)); got != (CellID{1, 2}) {
+		t.Errorf("CellOf(17,33) = %v, want C(1,2)", got)
+	}
+}
+
+func TestCenterAndRectRoundTrip(t *testing.T) {
+	g, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(45)
+	for trial := 0; trial < 200; trial++ {
+		c := CellID{X: src.Intn(g.Cols), Y: src.Intn(g.Rows)}
+		center := g.Center(c)
+		if got := g.CellOf(center); got != c {
+			t.Fatalf("CellOf(Center(%v)) = %v", c, got)
+		}
+		r := g.Rect(c)
+		if !r.Contains(center) {
+			t.Fatalf("center %v outside rect %v", center, r)
+		}
+		if r.Width() != 5 || r.Height() != 5 {
+			t.Fatalf("cell rect %v not 5×5", r)
+		}
+	}
+}
+
+func TestGridContains(t *testing.T) {
+	g, err := NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(50, 50)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(CellID{0, 0}) || !g.Contains(CellID{9, 9}) {
+		t.Error("grid must contain its corner cells")
+	}
+	for _, c := range []CellID{{-1, 0}, {0, -1}, {10, 0}, {0, 10}} {
+		if g.Contains(c) {
+			t.Errorf("grid contains out-of-range cell %v", c)
+		}
+	}
+}
+
+func TestCellDistMonotone(t *testing.T) {
+	a := CellID{0, 0}
+	if CellDist(a, CellID{1, 0}) >= CellDist(a, CellID{3, 0}) {
+		t.Error("CellDist not monotone in distance")
+	}
+	if CellDist(a, a) != 0 {
+		t.Error("CellDist(a,a) != 0")
+	}
+	if CellDist(a, CellID{2, 1}) != CellDist(CellID{2, 1}, a) {
+		t.Error("CellDist not symmetric")
+	}
+}
+
+func TestCellIDString(t *testing.T) {
+	if got := (CellID{X: 3, Y: 4}).String(); got != "C(3,4)" {
+		t.Errorf("String = %q", got)
+	}
+}

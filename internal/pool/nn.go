@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pooldcs/internal/event"
+)
+
+// Nearest answers a k-nearest-neighbour query: the k stored events whose
+// value vectors are closest (Euclidean, in value space) to the query
+// point. The paper lists continuous nearest-neighbour support as future
+// work (§6); this implements the static variant with an expanding-ring
+// search over the Pool index:
+//
+// Starting from a small hyper-cube around the point, the cube's range
+// query runs through the ordinary splitter machinery; the radius doubles
+// until at least k events lie within it AND the k-th nearest distance is
+// covered by the cube's half-width, which proves no closer event can sit
+// outside. Every round's messages are charged, so the returned events
+// reflect the true cost of the protocol.
+func (s *System) Nearest(sink int, point []float64, k int) ([]event.Event, error) {
+	if len(point) != s.dims {
+		return nil, fmt.Errorf("pool: point has %d dims, system built for %d", len(point), s.dims)
+	}
+	for i, v := range point {
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("pool: point coordinate %d = %v outside [0,1)", i+1, v)
+		}
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("pool: k must be ≥ 1, got %d", k)
+	}
+
+	const initialRadius = 0.05
+	radius := initialRadius
+	for {
+		q := cubeQuery(point, radius)
+		candidates, err := s.Query(sink, q)
+		if err != nil {
+			return nil, fmt.Errorf("pool: nn round (r=%v): %w", radius, err)
+		}
+		full := radius >= 1 // the cube already covers the whole domain
+		if len(candidates) >= k {
+			byDist := sortByDistance(candidates, point)
+			kth := distance(byDist[k-1].Values, point)
+			// The cube guarantees correctness only out to its half-width.
+			if kth <= radius || full {
+				return byDist[:k], nil
+			}
+			// Grow just enough to certify the current k-th candidate.
+			radius = math.Min(1, math.Max(kth, radius*2))
+			continue
+		}
+		if full {
+			// Fewer than k events exist in total.
+			return sortByDistance(candidates, point), nil
+		}
+		radius = math.Min(1, radius*2)
+	}
+}
+
+// cubeQuery returns the range query for the hyper-cube of the given
+// half-width around point, clipped to the attribute domain.
+func cubeQuery(point []float64, radius float64) event.Query {
+	ranges := make([]event.Range, len(point))
+	for i, v := range point {
+		lo := math.Max(0, v-radius)
+		hi := math.Min(1, v+radius)
+		ranges[i] = event.Span(lo, hi)
+	}
+	return event.NewQuery(ranges...)
+}
+
+// distance returns the Euclidean distance between two value vectors.
+func distance(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// sortByDistance orders events by distance to the point, ties broken by
+// sequence number for determinism.
+func sortByDistance(events []event.Event, point []float64) []event.Event {
+	out := append([]event.Event(nil), events...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := distance(out[i].Values, point), distance(out[j].Values, point)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

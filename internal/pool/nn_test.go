@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+func nnFixture(t *testing.T, n int) (*System, []event.Event) {
+	t.Helper()
+	s, _ := newSystem(t, 300, 90)
+	src := rng.New(91)
+	var all []event.Event
+	for i := 0; i < n; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		all = append(all, e)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, all
+}
+
+// bruteNearest returns the k nearest events by exhaustive scan.
+func bruteNearest(all []event.Event, point []float64, k int) []event.Event {
+	sorted := append([]event.Event(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := distance(sorted[i].Values, point), distance(sorted[j].Values, point)
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	s, all := nnFixture(t, 400)
+	src := rng.New(92)
+	for trial := 0; trial < 25; trial++ {
+		point := []float64{src.Float64(), src.Float64(), src.Float64()}
+		k := 1 + src.Intn(5)
+		got, err := s.Nearest(7, point, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteNearest(all, point, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			// Equal distance suffices (tie order may differ at equal dist).
+			dg := distance(got[i].Values, point)
+			dw := distance(want[i].Values, point)
+			if math.Abs(dg-dw) > 1e-12 {
+				t.Fatalf("trial %d rank %d: got dist %v, want %v", trial, i, dg, dw)
+			}
+		}
+	}
+}
+
+func TestNearestOrderedByDistance(t *testing.T) {
+	s, _ := nnFixture(t, 300)
+	point := []float64{0.5, 0.5, 0.5}
+	got, err := s.Nearest(0, point, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if distance(got[i-1].Values, point) > distance(got[i].Values, point) {
+			t.Fatal("results not ordered by distance")
+		}
+	}
+}
+
+func TestNearestFewerThanK(t *testing.T) {
+	s, _ := newSystem(t, 300, 93)
+	for i := 0; i < 3; i++ {
+		e := event.New(0.1*float64(i+1), 0.05, 0.02)
+		e.Seq = uint64(i + 1)
+		if err := s.Insert(i, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Nearest(0, []float64{0.9, 0.9, 0.9}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want all 3 stored events", len(got))
+	}
+}
+
+func TestNearestEmptyStore(t *testing.T) {
+	s, _ := newSystem(t, 300, 94)
+	got, err := s.Nearest(0, []float64{0.5, 0.5, 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty store returned %v", got)
+	}
+}
+
+func TestNearestValidation(t *testing.T) {
+	s, _ := newSystem(t, 300, 95)
+	if _, err := s.Nearest(0, []float64{0.5, 0.5}, 1); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+	if _, err := s.Nearest(0, []float64{0.5, 0.5, 1.5}, 1); err == nil {
+		t.Error("out-of-domain point accepted")
+	}
+	if _, err := s.Nearest(0, []float64{0.5, 0.5, 0.5}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNearestChargesMessages(t *testing.T) {
+	s, net := newSystem(t, 300, 96)
+	src := rng.New(97)
+	for i := 0; i < 100; i++ {
+		if err := s.Insert(src.Intn(300), event.New(src.Float64(), src.Float64(), src.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := net.Snapshot()
+	if _, err := s.Nearest(0, []float64{0.4, 0.4, 0.2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := net.Diff(before); d.Total() == 0 {
+		t.Error("nearest-neighbour query generated no traffic")
+	}
+}

@@ -1,0 +1,95 @@
+package pool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/wire"
+)
+
+// Dump serializes every stored event to w using the wire batch encoding,
+// in deterministic (Pool, cell, segment) order, and returns the event
+// count. A dump taken at the sink is a complete backup: storage
+// coordinates are implied by Theorem 3.1, so only the events themselves
+// need to travel.
+func (s *System) Dump(w io.Writer) (int, error) {
+	keys := make([]storeKey, 0, len(s.store))
+	for key := range s.store {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.dim != b.dim {
+			return a.dim < b.dim
+		}
+		if a.cell.X != b.cell.X {
+			return a.cell.X < b.cell.X
+		}
+		return a.cell.Y < b.cell.Y
+	})
+	var events []event.Event
+	for _, key := range keys {
+		for _, seg := range s.store[key] {
+			events = append(events, seg.events...)
+		}
+	}
+	buf, err := wire.AppendEvents(nil, events)
+	if err != nil {
+		return 0, fmt.Errorf("pool: dump: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return 0, fmt.Errorf("pool: dump: %w", err)
+	}
+	return len(events), nil
+}
+
+// Load restores events from a Dump stream, placing each directly at its
+// Theorem-3.1 cell. Load is a management operation performed before the
+// network goes live: no radio traffic is charged, workload-sharing quotas
+// are not consulted, subscriptions do not fire, and tied events land in
+// their lowest-dimension candidate Pool. It returns the number of events
+// restored.
+func (s *System) Load(r io.Reader) (int, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("pool: load: %w", err)
+	}
+	events, rest, err := wire.DecodeEvents(buf)
+	if err != nil {
+		return 0, fmt.Errorf("pool: load: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("pool: load: %d trailing bytes", len(rest))
+	}
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return i, fmt.Errorf("pool: load event %d: %w", i, err)
+		}
+		if e.Dims() != s.dims {
+			return i, fmt.Errorf("pool: load event %d: has %d dims, system built for %d", i, e.Dims(), s.dims)
+		}
+		d1 := event.GreatestDims(e)[0]
+		cell := s.pools[d1-1].InsertCell(e.Values[d1-1], event.SecondGreatest(e, d1))
+		key := storeKey{dim: d1, cell: cell}
+		index := s.holder[cell]
+		segs := s.store[key]
+		if len(segs) == 0 {
+			segs = append(segs, segment{node: index})
+		}
+		active := &segs[len(segs)-1]
+		active.events = append(active.events, e)
+		s.stored[active.node]++
+		s.store[key] = segs
+		if s.replicate {
+			if _, ok := s.mirrors[key]; !ok {
+				s.mirrors[key] = s.nearestAliveTo(s.grid.Center(cell), index)
+			}
+			if m := s.mirrors[key]; m >= 0 && !s.dead[m] {
+				s.mirrorStore[key] = append(s.mirrorStore[key], e)
+			}
+		}
+	}
+	return len(events), nil
+}

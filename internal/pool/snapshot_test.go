@@ -1,0 +1,146 @@
+package pool
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/wire"
+)
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	src1, _ := newSystem(t, 300, 150)
+	src := rng.New(151)
+	var all []event.Event
+	for i := 0; i < 250; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		all = append(all, e)
+		if err := src1.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	n, err := src1.Dump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(all) {
+		t.Fatalf("dumped %d events, want %d", n, len(all))
+	}
+
+	// Restore into a fresh system on a different deployment.
+	dst, dstNet := newSystem(t, 300, 152)
+	loaded, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != len(all) {
+		t.Fatalf("loaded %d events, want %d", loaded, len(all))
+	}
+	if dstNet.Snapshot().Total() != 0 {
+		t.Error("Load charged radio traffic")
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after load: %v", err)
+	}
+
+	// Every original event is queryable in the restored system.
+	got, err := dst.Query(0, event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("restored system answers %d events, want %d", len(got), len(all))
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	s, _ := newSystem(t, 300, 153)
+	src := rng.New(154)
+	for i := 0; i < 100; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b bytes.Buffer
+	if _, err := s.Dump(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Dump is not deterministic")
+	}
+}
+
+func TestLoadIntoReplicatedSystem(t *testing.T) {
+	s, _ := newSystem(t, 300, 155)
+	src := rng.New(156)
+	for i := 0; i < 120; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(i + 1)
+		if err := s.Insert(src.Intn(300), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := s.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := newSystem(t, 300, 157, WithReplication())
+	if _, err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// The restored data survives a failure thanks to the mirrors filled
+	// during Load.
+	victim, max := -1, 0
+	for i, l := range dst.StorageLoad() {
+		if l > max {
+			victim, max = i, l
+		}
+	}
+	if err := dst.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Query(pickAlive(dst), event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 120 {
+		t.Errorf("recall after load+failure = %d, want 120", len(got))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s, _ := newSystem(t, 300, 158)
+	if _, err := s.Load(strings.NewReader("not a dump")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := s.Load(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestLoadRejectsWrongDims(t *testing.T) {
+	// A batch of 2-dimensional events must be rejected by a 3-dim system.
+	two := event.Event{Values: []float64{0.1, 0.2}, Seq: 1}
+	b, err := wire.AppendEvents(nil, []event.Event{two})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newSystem(t, 300, 160)
+	if _, err := s.Load(bytes.NewReader(b)); err == nil {
+		t.Error("wrong-dimensional dump accepted")
+	}
+}

@@ -1,0 +1,461 @@
+package pool
+
+import (
+	"fmt"
+	"math"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+)
+
+// Default configuration values from the paper's §5.1 simulation model.
+const (
+	// DefaultAlpha is the cell side length α in metres.
+	DefaultAlpha = 5
+	// DefaultSide is the Pool side length l in cells.
+	DefaultSide = 10
+)
+
+// config collects construction options.
+type config struct {
+	alpha     float64
+	side      int
+	pivots    []CellID
+	quota     int // per-node storage quota before delegation; 0 disables sharing
+	replicate bool
+}
+
+// Option configures New.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithCellSize overrides the cell side length α (default 5 m).
+func WithCellSize(alpha float64) Option {
+	return optionFunc(func(c *config) { c.alpha = alpha })
+}
+
+// WithPoolSide overrides the Pool side length l in cells (default 10).
+func WithPoolSide(side int) Option {
+	return optionFunc(func(c *config) { c.side = side })
+}
+
+// WithPivots pins the Pool pivot cells instead of placing them randomly.
+// One pivot per event dimension is required.
+func WithPivots(pivots []CellID) Option {
+	return optionFunc(func(c *config) { c.pivots = append([]CellID(nil), pivots...) })
+}
+
+// WithWorkloadSharing enables the §4.2 workload-sharing mechanism: when a
+// cell's active storage segment reaches quota events, its index node
+// delegates further storage to an under-loaded neighbour, keeping a
+// directory of delegates. Per-node storage stays bounded under skewed
+// event distributions at the price of a short extra hop when inserting
+// into or querying a delegated segment.
+func WithWorkloadSharing(quota int) Option {
+	return optionFunc(func(c *config) { c.quota = quota })
+}
+
+// storeKey addresses the storage of one cell of one Pool.
+type storeKey struct {
+	dim  int // 1-based Pool dimension
+	cell CellID
+}
+
+// segment is one slab of a cell's storage, held by one node. The first
+// segment lives at the cell's index node; workload sharing appends
+// segments at delegate nodes.
+type segment struct {
+	node   int
+	events []event.Event
+}
+
+// System is a Pool DCS instance over one network.
+type System struct {
+	net    *network.Network
+	router *gpsr.Router
+	grid   *Grid
+	pools  []Pool
+	dims   int
+
+	// holder maps each Pool cell to its index node — the node closest to
+	// the cell centre (§2), which fields all traffic for the cell.
+	holder map[CellID]int
+	// store holds the storage segments of each (Pool, cell).
+	store map[storeKey][]segment
+	// stored counts events held per node, maintained incrementally.
+	stored []int
+
+	quota int
+	// delegations counts workload-sharing segment creations.
+	delegations int
+
+	// Replication and failure state (faults.go).
+	replicate    bool
+	mirrors      map[storeKey]int
+	mirrorStore  map[storeKey][]event.Event
+	dead         []bool
+	recoveryMsgs uint64
+
+	// Continuous-query state (continuous.go).
+	subs    map[storeKey][]*Subscription
+	subSeq  uint64
+	pending []Notification
+}
+
+var _ dcs.System = (*System)(nil)
+var _ dcs.StorageReporter = (*System)(nil)
+
+// New builds a Pool system for events of the given dimensionality. Pivot
+// cells are placed randomly (non-overlapping where possible) using src,
+// matching the paper's random pivot placement, unless WithPivots pins
+// them.
+func New(net *network.Network, router *gpsr.Router, dims int, src *rng.Source, opts ...Option) (*System, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("pool: dimensionality must be ≥ 1, got %d", dims)
+	}
+	cfg := config{alpha: DefaultAlpha, side: DefaultSide}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	layout := net.Layout()
+	grid, err := NewGrid(layout.Bounds(), cfg.alpha)
+	if err != nil {
+		return nil, err
+	}
+	if grid.Cols < cfg.side || grid.Rows < cfg.side {
+		return nil, fmt.Errorf("pool: field of %d×%d cells cannot hold a Pool of side %d",
+			grid.Cols, grid.Rows, cfg.side)
+	}
+
+	s := &System{
+		net:       net,
+		router:    router,
+		grid:      grid,
+		dims:      dims,
+		holder:    make(map[CellID]int),
+		store:     make(map[storeKey][]segment),
+		stored:    make([]int, layout.N()),
+		quota:     cfg.quota,
+		replicate: cfg.replicate,
+		dead:      make([]bool, layout.N()),
+	}
+	if s.replicate {
+		s.mirrors = make(map[storeKey]int)
+		s.mirrorStore = make(map[storeKey][]event.Event)
+	}
+
+	pivots := cfg.pivots
+	if pivots == nil {
+		if src == nil {
+			return nil, fmt.Errorf("pool: random pivot placement requires a rng source")
+		}
+		pivots = placePivots(grid, dims, cfg.side, src)
+	}
+	if len(pivots) != dims {
+		return nil, fmt.Errorf("pool: %d pivots for %d dimensions", len(pivots), dims)
+	}
+	for i, pc := range pivots {
+		if pc.X < 0 || pc.Y < 0 || pc.X+cfg.side > grid.Cols || pc.Y+cfg.side > grid.Rows {
+			return nil, fmt.Errorf("pool: pivot %v does not fit a Pool of side %d in a %d×%d grid",
+				pc, cfg.side, grid.Cols, grid.Rows)
+		}
+		s.pools = append(s.pools, Pool{Dim: i + 1, Pivot: pc, Side: cfg.side})
+	}
+
+	// Designate index nodes: the node closest to each Pool cell's centre.
+	for _, p := range s.pools {
+		for _, c := range p.Cells() {
+			if _, ok := s.holder[c]; !ok {
+				s.holder[c] = layout.Nearest(grid.Center(c))
+			}
+		}
+	}
+	return s, nil
+}
+
+// placePivots draws random pivot cells, preferring a placement where the
+// Pools do not overlap (as in the paper's Figure 2); after 200 attempts it
+// accepts overlap.
+func placePivots(grid *Grid, dims, side int, src *rng.Source) []CellID {
+	maxX := grid.Cols - side
+	maxY := grid.Rows - side
+	var pivots []CellID
+	for attempt := 0; attempt < 200; attempt++ {
+		pivots = make([]CellID, dims)
+		ok := true
+		for i := range pivots {
+			pivots[i] = CellID{X: src.Intn(maxX + 1), Y: src.Intn(maxY + 1)}
+			for j := 0; j < i; j++ {
+				if overlaps(pivots[i], pivots[j], side) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	return pivots
+}
+
+func overlaps(a, b CellID, side int) bool {
+	return a.X < b.X+side && b.X < a.X+side && a.Y < b.Y+side && b.Y < a.Y+side
+}
+
+// Name implements dcs.System.
+func (s *System) Name() string { return "Pool" }
+
+// Dims returns the event dimensionality.
+func (s *System) Dims() int { return s.dims }
+
+// Grid returns the cell grid.
+func (s *System) Grid() *Grid { return s.grid }
+
+// Pools returns the k Pools. The slice is owned by the system.
+func (s *System) Pools() []Pool { return s.pools }
+
+// IndexNode returns the index node of a Pool cell, or -1 for cells outside
+// every Pool.
+func (s *System) IndexNode(c CellID) int {
+	if h, ok := s.holder[c]; ok {
+		return h
+	}
+	return -1
+}
+
+// Delegations returns how many workload-sharing storage segments have been
+// created beyond the index nodes' own.
+func (s *System) Delegations() int { return s.delegations }
+
+// Insert implements dcs.System (Algorithm 1 plus the §4.1 tie rule): the
+// event is stored at the cell determined by its greatest and
+// second-greatest attribute values; with tied maxima, the candidate cell
+// closest to the detecting sensor is chosen and a single copy stored.
+func (s *System) Insert(origin int, e event.Event) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("pool: %w", err)
+	}
+	if e.Dims() != s.dims {
+		return fmt.Errorf("pool: event has %d dims, system built for %d", e.Dims(), s.dims)
+	}
+	dims := event.GreatestDims(e)
+	originCell := s.grid.CellOf(s.net.Layout().Pos(origin))
+	bestDim, bestCell, bestDist := -1, CellID{}, math.Inf(1)
+	for _, d := range dims {
+		cell := s.pools[d-1].InsertCell(e.Values[d-1], event.SecondGreatest(e, d))
+		if dist := CellDist(cell, originCell); dist < bestDist {
+			bestDim, bestCell, bestDist = d, cell, dist
+		}
+	}
+
+	payload := dcs.EventBytes(s.dims)
+	// The event is routed geographically toward the cell; its index node
+	// consumes it on arrival (cell membership and the index role are
+	// cell-local knowledge, so no home-node probe is needed — §2).
+	index := s.holder[bestCell]
+	if _, err := dcs.Unicast(s.net, s.router, origin, index, network.KindInsert, payload); err != nil {
+		return fmt.Errorf("pool: insert: %w", err)
+	}
+	return s.storeEvent(storeKey{dim: bestDim, cell: bestCell}, index, e, payload)
+}
+
+// storeEvent places the event into the cell's active storage segment,
+// opening a delegated segment first when workload sharing demands it.
+func (s *System) storeEvent(key storeKey, index int, e event.Event, payload int) error {
+	segs := s.store[key]
+	if len(segs) == 0 {
+		segs = append(segs, segment{node: index})
+	}
+	active := &segs[len(segs)-1]
+	if s.quota > 0 && len(active.events) >= s.quota {
+		delegate := s.pickDelegate(index, active.node)
+		// Establishing the delegation is one control exchange.
+		if _, err := dcs.Unicast(s.net, s.router, index, delegate, network.KindControl, dcs.QueryBytes(s.dims)); err != nil {
+			return fmt.Errorf("pool: delegate setup: %w", err)
+		}
+		segs = append(segs, segment{node: delegate})
+		active = &segs[len(segs)-1]
+		s.delegations++
+	}
+	if active.node != index {
+		if _, err := dcs.Unicast(s.net, s.router, index, active.node, network.KindInsert, payload); err != nil {
+			return fmt.Errorf("pool: delegate forward: %w", err)
+		}
+	}
+	active.events = append(active.events, e)
+	s.stored[active.node]++
+	s.store[key] = segs
+	if s.replicate {
+		if err := s.mirrorEvent(key, index, e, payload); err != nil {
+			return err
+		}
+	}
+	return s.notifySubscribers(key, index, e)
+}
+
+// mirrorEvent copies a freshly stored event to the cell's mirror node,
+// electing the mirror on first use.
+func (s *System) mirrorEvent(key storeKey, index int, e event.Event, payload int) error {
+	mirror, ok := s.mirrors[key]
+	if !ok {
+		mirror = s.nearestAliveTo(s.grid.Center(key.cell), index)
+		s.mirrors[key] = mirror
+	}
+	if mirror < 0 || s.dead[mirror] {
+		return nil
+	}
+	if _, err := dcs.Unicast(s.net, s.router, index, mirror, network.KindInsert, payload); err != nil {
+		return fmt.Errorf("pool: mirror copy: %w", err)
+	}
+	s.mirrorStore[key] = append(s.mirrorStore[key], e)
+	return nil
+}
+
+// pickDelegate chooses the next storage delegate for an index node: the
+// least-loaded radio neighbour, excluding the currently active segment
+// holder. Neighbour knowledge is local to the index node.
+func (s *System) pickDelegate(index, current int) int {
+	layout := s.net.Layout()
+	best, bestLoad := -1, 0
+	for _, v := range layout.Neighbors(index) {
+		if v == current || s.dead[v] {
+			continue
+		}
+		if best < 0 || s.stored[v] < bestLoad {
+			best, bestLoad = v, s.stored[v]
+		}
+	}
+	if best < 0 {
+		// An index node with no other neighbour keeps the load itself.
+		return index
+	}
+	return best
+}
+
+// RelevantCells returns, per Pool, the cells relevant to q after the §2
+// partial-match rewrite — the paper's Figures 4 and 5.
+func (s *System) RelevantCells(q event.Query) map[int][]CellID {
+	rq := q.Rewrite()
+	out := make(map[int][]CellID, len(s.pools))
+	for _, p := range s.pools {
+		if cells := p.RelevantCells(rq); len(cells) > 0 {
+			out[p.Dim] = cells
+		}
+	}
+	return out
+}
+
+// SplitterFor returns the Pool's splitter for a given sink: the Pool's
+// index node closest to the sink (§3.2.3). Pools are predefined, so the
+// sink computes this locally.
+func (s *System) SplitterFor(p Pool, sink int) int {
+	layout := s.net.Layout()
+	sinkPos := layout.Pos(sink)
+	best, bestD2 := -1, math.Inf(1)
+	for _, c := range p.Cells() {
+		h := s.holder[c]
+		if d2 := layout.Pos(h).Dist2(sinkPos); d2 < bestD2 {
+			best, bestD2 = h, d2
+		}
+	}
+	return best
+}
+
+// Query implements dcs.System: the query is resolved with Theorem 3.2 and
+// forwarded through one splitter per Pool to every relevant cell; replies
+// converge back through the splitters (§3.2.3).
+func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	if q.Dims() != s.dims {
+		return nil, fmt.Errorf("pool: query has %d dims, system built for %d", q.Dims(), s.dims)
+	}
+	rq := q.Rewrite()
+	qBytes := dcs.QueryBytes(s.dims)
+
+	var results []event.Event
+	for _, p := range s.pools {
+		cells := p.RelevantCells(rq)
+		if len(cells) == 0 {
+			continue
+		}
+		splitter := s.SplitterFor(p, sink)
+		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
+			return nil, fmt.Errorf("pool: query to splitter: %w", err)
+		}
+		var poolResults []event.Event
+		for _, c := range cells {
+			index := s.holder[c]
+			if index != splitter {
+				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
+					return nil, fmt.Errorf("pool: query to cell %v: %w", c, err)
+				}
+			}
+			matches, err := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
+			if err != nil {
+				return nil, err
+			}
+			if len(matches) == 0 {
+				continue
+			}
+			poolResults = append(poolResults, matches...)
+			if index != splitter {
+				if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply,
+					dcs.ReplyBytes(s.dims, len(matches))); err != nil {
+					return nil, fmt.Errorf("pool: reply from cell %v: %w", c, err)
+				}
+			}
+		}
+		if len(poolResults) > 0 {
+			if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply,
+				dcs.ReplyBytes(s.dims, len(poolResults))); err != nil {
+				return nil, fmt.Errorf("pool: reply to sink: %w", err)
+			}
+			results = append(results, poolResults...)
+		}
+	}
+	return results, nil
+}
+
+// queryCell scans all storage segments of one cell. Delegated segments
+// cost an extra query/reply exchange between the index node and the
+// delegate.
+func (s *System) queryCell(key storeKey, index int, rq event.Query, qBytes int) ([]event.Event, error) {
+	var matches []event.Event
+	for _, seg := range s.store[key] {
+		if seg.node != index {
+			if _, err := dcs.Unicast(s.net, s.router, index, seg.node, network.KindQuery, qBytes); err != nil {
+				return nil, fmt.Errorf("pool: query to delegate: %w", err)
+			}
+		}
+		segMatches := rq.Filter(seg.events)
+		if len(segMatches) == 0 {
+			continue
+		}
+		if seg.node != index {
+			if _, err := dcs.Unicast(s.net, s.router, seg.node, index, network.KindReply,
+				dcs.ReplyBytes(s.dims, len(segMatches))); err != nil {
+				return nil, fmt.Errorf("pool: reply from delegate: %w", err)
+			}
+		}
+		matches = append(matches, segMatches...)
+	}
+	return matches, nil
+}
+
+// StorageLoad implements dcs.StorageReporter: events currently held by
+// each node.
+func (s *System) StorageLoad() []int {
+	out := make([]int, len(s.stored))
+	copy(out, s.stored)
+	return out
+}

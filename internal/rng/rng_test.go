@@ -1,0 +1,213 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	// Children with the same label from identically seeded parents match.
+	a := New(7).Fork("events")
+	b := New(7).Fork("events")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-label forks diverged")
+		}
+	}
+
+	// Children with different labels differ.
+	c := New(7).Fork("events")
+	d := New(7).Fork("queries")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-label forks produced %d/100 identical draws", same)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of bounds", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0, 1)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(0.1)
+	}
+	if mean := sum / n; math.Abs(mean-0.1) > 0.005 {
+		t.Errorf("exponential mean = %v, want ~0.1", mean)
+	}
+}
+
+func TestTruncExponentialBounds(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 5000; i++ {
+		v := s.TruncExponential(0.3, 1.0)
+		if v < 0 || v > 1 {
+			t.Fatalf("TruncExponential out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	s := New(8)
+	const n, draws = 100, 20000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r := s.Zipf(1.0, n)
+		if r < 0 || r >= n {
+			t.Fatalf("Zipf rank %d out of [0,%d)", r, n)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 50 heavily under skew 1.0.
+	if counts[0] < 10*counts[50]+1 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	p := s.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(10)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) hit rate = %v", frac)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want float64
+	}{
+		{-0.5, 0},
+		{0, 0},
+		{0.5, 0.5},
+		{1, math.Nextafter(1, 0)},
+		{2, math.Nextafter(1, 0)},
+	}
+	for _, tt := range tests {
+		if got := Clamp01(tt.in); got != tt.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if Clamp01(1.0) >= 1.0 {
+		t.Error("Clamp01(1.0) must be strictly below 1")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(20)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		if v < 0 || v > 9 || seen[v] {
+			t.Fatalf("shuffle broke the permutation: %v", vals)
+		}
+		seen[v] = true
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(21)
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(22)
+	var sum, ss float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := s.Normal(2, 0.5)
+		sum += v
+		ss += (v - 2) * (v - 2)
+	}
+	mean := sum / n
+	if mean < 1.98 || mean > 2.02 {
+		t.Errorf("normal mean = %v, want ~2", mean)
+	}
+	std := math.Sqrt(ss / n)
+	if std < 0.48 || std > 0.52 {
+		t.Errorf("normal std = %v, want ~0.5", std)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	s := New(23)
+	if got := s.Zipf(1.0, 1); got != 0 {
+		t.Errorf("Zipf(n=1) = %d, want 0", got)
+	}
+	if got := s.Zipf(1.0, 0); got != 0 {
+		t.Errorf("Zipf(n=0) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// kernel: a virtual clock and an event queue.
+//
+// The network layer schedules per-hop message deliveries on a Scheduler and
+// protocol code schedules timers (beacons, workload-sharing checks). Events
+// at equal timestamps fire in scheduling order, so runs are reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the pending-event queue.
+type Scheduler struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	// executed counts events that have fired; used by tests and as a
+	// runaway guard in RunUntil.
+	executed uint64
+}
+
+// NewScheduler returns a Scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("sim: cannot schedule event in the past")
+
+// At schedules fn to run at absolute virtual time t.
+func (s *Scheduler) At(t time.Duration, fn func()) error {
+	if t < s.now {
+		return ErrPast
+	}
+	s.seq++
+	heap.Push(&s.queue, &item{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	// s.now+d >= s.now always holds, so At cannot fail.
+	_ = s.At(s.now+d, fn)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(*item)
+	s.now = it.at
+	s.executed++
+	it.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// ErrBudget is returned by RunUntil when maxEvents fire before the horizon
+// is reached, which usually indicates a scheduling loop.
+var ErrBudget = errors.New("sim: event budget exhausted")
+
+// RunUntil fires events with timestamps ≤ horizon, advancing the clock to
+// horizon afterwards. It stops with ErrBudget after maxEvents events
+// (maxEvents ≤ 0 means unlimited).
+func (s *Scheduler) RunUntil(horizon time.Duration, maxEvents uint64) error {
+	fired := uint64(0)
+	for s.queue.Len() > 0 && s.queue[0].at <= horizon {
+		if maxEvents > 0 && fired >= maxEvents {
+			return ErrBudget
+		}
+		s.Step()
+		fired++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+type item struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*item)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

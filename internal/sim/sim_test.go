@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEmptySchedulerRun(t *testing.T) {
+	s := NewScheduler()
+	s.Run()
+	if s.Now() != 0 || s.Executed() != 0 {
+		t.Errorf("empty run advanced clock: now=%v executed=%d", s.Now(), s.Executed())
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	if err := s.At(3*time.Second, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(1*time.Second, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(2*time.Second, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAtInPast(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run()
+	if err := s.At(500*time.Millisecond, func() {}); err != ErrPast {
+		t.Errorf("scheduling in past err = %v, want ErrPast", err)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if s.Now() != 0 {
+		t.Errorf("clock = %v, want 0", s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var hops []time.Duration
+	var hop func(n int)
+	hop = func(n int) {
+		hops = append(hops, s.Now())
+		if n > 0 {
+			s.After(10*time.Millisecond, func() { hop(n - 1) })
+		}
+	}
+	s.After(0, func() { hop(3) })
+	s.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %v", hops)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Errorf("hop %d at %v, want %v", i, hops[i], want[i])
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	if err := s.RunUntil(3*time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunUntil(time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != time.Minute {
+		t.Errorf("clock = %v, want 1m", s.Now())
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	tick = func() { s.After(time.Millisecond, tick) }
+	s.After(0, tick)
+	if err := s.RunUntil(time.Hour, 1000); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Executed() != 7 {
+		t.Errorf("Executed = %d, want 7", s.Executed())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

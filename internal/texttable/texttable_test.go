@@ -1,0 +1,78 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Demo", "Name", "Value")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Columns align: "Value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "Value")
+	if lines[3][idx:idx+1] != "1" || lines[4][idx:idx+2] != "22" {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestStringNoTitle(t *testing.T) {
+	tb := New("", "A")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title must not produce a blank line")
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := New("t", "A")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("1", "hello, world")
+	tb.AddRow("2", `say "hi"`)
+	got := tb.CSV()
+	want := "a,b\n1,\"hello, world\"\n2,\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("1", "2")
+	got := tb.Markdown()
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+	if got != want {
+		t.Errorf("Markdown = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Float(3.14159, 2) != "3.14" {
+		t.Errorf("Float = %q", Float(3.14159, 2))
+	}
+	if Int(42) != "42" {
+		t.Errorf("Int = %q", Int(42))
+	}
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"pooldcs/internal/event"
+)
+
+// FuzzDecodeEvent checks that arbitrary bytes never panic the decoder and
+// that anything decodable re-encodes to a decodable value.
+func FuzzDecodeEvent(f *testing.F) {
+	seed, _ := AppendEvent(nil, event.Event{Seq: 7, Values: []float64{0.1, 0.9}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatal("rest longer than input")
+		}
+		re, err := AppendEvent(nil, e)
+		if err != nil {
+			t.Fatalf("decoded event does not re-encode: %v", err)
+		}
+		e2, _, err := DecodeEvent(re)
+		if err != nil {
+			t.Fatalf("re-encoded event does not decode: %v", err)
+		}
+		if e2.Seq != e.Seq || len(e2.Values) != len(e.Values) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeQuery mirrors FuzzDecodeEvent for queries.
+func FuzzDecodeQuery(f *testing.F) {
+	seed, _ := AppendQuery(nil, event.NewQuery(event.Span(0.1, 0.5), event.Unspecified()))
+	f.Add(seed)
+	f.Add([]byte{3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, _, err := DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendQuery(nil, q)
+		if err != nil {
+			t.Fatalf("decoded query does not re-encode: %v", err)
+		}
+		q2, _, err := DecodeQuery(re)
+		if err != nil {
+			t.Fatalf("re-encoded query does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatal("query round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeEvents checks the batch decoder against arbitrary inputs.
+func FuzzDecodeEvents(f *testing.F) {
+	batch, _ := AppendEvents(nil, []event.Event{
+		{Seq: 1, Values: []float64{0.2}},
+		{Seq: 2, Values: []float64{0.3, 0.4}},
+	})
+	f.Add(batch)
+	f.Add([]byte{255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, _, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		if _, err := AppendEvents(nil, events); err != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+	})
+}

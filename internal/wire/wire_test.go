@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+func TestEventRoundTrip(t *testing.T) {
+	e := event.Event{Seq: 42, Values: []float64{0.4, 0.3, 0.1}}
+	buf, err := AppendEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != EventSize(3) {
+		t.Errorf("encoded size %d, want %d", len(buf), EventSize(3))
+	}
+	got, rest, err := DecodeEvent(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("round trip: %+v != %+v", got, e)
+	}
+}
+
+func TestEventRoundTripProperty(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + src.Intn(MaxDims)
+		e := event.Event{Seq: uint64(src.Int63())}
+		for i := 0; i < k; i++ {
+			e.Values = append(e.Values, src.Float64())
+		}
+		buf, err := AppendEvent(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rest, err := DecodeEvent(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode: %v (%d rest)", err, len(rest))
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("round trip: %+v != %+v", got, e)
+		}
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	queries := []event.Query{
+		event.NewQuery(event.Span(0.2, 0.3), event.Span(0.25, 0.35), event.Span(0.21, 0.24)),
+		event.NewQuery(event.Unspecified(), event.Unspecified(), event.Span(0.8, 0.84)),
+		event.NewQuery(event.PointRange(0.5)),
+		event.NewQuery(event.Span(0, 1), event.Unspecified()),
+	}
+	for _, q := range queries {
+		buf, err := AppendQuery(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != QuerySize(q.Dims()) {
+			t.Errorf("encoded size %d, want %d", len(buf), QuerySize(q.Dims()))
+		}
+		got, rest, err := DecodeQuery(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode %v: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, q) {
+			t.Errorf("round trip: %+v != %+v", got, q)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	var events []event.Event
+	for i := 0; i < 57; i++ {
+		events = append(events, event.Event{
+			Seq:    uint64(i + 1),
+			Values: []float64{src.Float64(), src.Float64(), src.Float64()},
+		})
+	}
+	buf, err := AppendEvents(nil, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeEvents(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Error("batch round trip mismatch")
+	}
+
+	// Empty batch.
+	buf, err = AppendEvents(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = DecodeEvents(buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestConcatenatedDecode(t *testing.T) {
+	e1 := event.Event{Seq: 1, Values: []float64{0.1}}
+	e2 := event.Event{Seq: 2, Values: []float64{0.2, 0.3}}
+	buf, err := AppendEvent(nil, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendEvent(buf, e2); err != nil {
+		t.Fatal(err)
+	}
+	got1, rest, err := DecodeEvent(buf)
+	if err != nil || got1.Seq != 1 {
+		t.Fatalf("first decode: %v %v", got1, err)
+	}
+	got2, rest, err := DecodeEvent(rest)
+	if err != nil || got2.Seq != 2 || len(rest) != 0 {
+		t.Fatalf("second decode: %v %v", got2, err)
+	}
+}
+
+func TestTruncatedBuffers(t *testing.T) {
+	e := event.Event{Seq: 7, Values: []float64{0.1, 0.2}}
+	buf, err := AppendEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeEvent(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+
+	q := event.NewQuery(event.Span(0.1, 0.2), event.Unspecified())
+	qbuf, err := AppendQuery(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(qbuf); cut++ {
+		if _, _, err := DecodeQuery(qbuf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("query cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDimensionalityLimits(t *testing.T) {
+	if _, err := AppendEvent(nil, event.Event{}); err == nil {
+		t.Error("zero-dim event accepted")
+	}
+	big := event.Event{Values: make([]float64, MaxDims+1)}
+	if _, err := AppendEvent(nil, big); err == nil {
+		t.Error("oversized event accepted")
+	}
+	if _, err := AppendQuery(nil, event.Query{}); err == nil {
+		t.Error("zero-dim query accepted")
+	}
+	if _, err := AppendQuery(nil, event.Query{Ranges: make([]event.Range, MaxDims+1)}); err == nil {
+		t.Error("oversized query accepted")
+	}
+}
+
+func TestCorruptHeaders(t *testing.T) {
+	// An event header claiming k=0.
+	buf := make([]byte, EventSize(1))
+	if _, _, err := DecodeEvent(buf); err == nil {
+		t.Error("k=0 event header accepted")
+	}
+	// A query header claiming an enormous k.
+	qbuf := make([]byte, 4)
+	qbuf[0] = 0xFF
+	qbuf[1] = 0xFF
+	if _, _, err := DecodeQuery(qbuf); err == nil {
+		t.Error("oversized query header accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package workload generates the event and query populations of the
+// paper's performance model (§5.1): uniformly placed k-dimensional events
+// (three per sensor), exact-match range queries whose range sizes follow a
+// uniform or exponential distribution, and m-partial / 1@n-partial match
+// queries. Skewed generators feed the hotspot experiments.
+package workload
+
+import (
+	"fmt"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+// DefaultEventsPerNode is the paper's event load: each sensor generates
+// three events on average.
+const DefaultEventsPerNode = 3
+
+// Events produces a stream of events with unique sequence numbers.
+type Events struct {
+	src  *rng.Source
+	k    int
+	next func() []float64
+	seq  uint64
+}
+
+// NewUniformEvents returns a generator of k-dimensional events whose
+// attribute values are uniform in [0, 1) — the paper's default event
+// distribution.
+func NewUniformEvents(src *rng.Source, k int) *Events {
+	g := &Events{src: src, k: k}
+	g.next = func() []float64 {
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = src.Float64()
+		}
+		return vals
+	}
+	return g
+}
+
+// NewHotspotEvents returns a generator whose values cluster around center
+// with the given spread (normal noise, clamped into [0, 1)), producing the
+// skewed event distribution that provokes storage hotspots (§4.2).
+func NewHotspotEvents(src *rng.Source, center []float64, spread float64) *Events {
+	c := append([]float64(nil), center...)
+	g := &Events{src: src, k: len(c)}
+	g.next = func() []float64 {
+		vals := make([]float64, len(c))
+		for i := range vals {
+			vals[i] = rng.Clamp01(src.Normal(c[i], spread))
+		}
+		return vals
+	}
+	return g
+}
+
+// NewZipfEvents returns a generator whose values are drawn from bins
+// ranked by a Zipf distribution with the given skew: a heavy-tailed,
+// multi-modal skew across the value domain.
+func NewZipfEvents(src *rng.Source, k int, skew float64, bins int) *Events {
+	if bins < 1 {
+		bins = 1
+	}
+	g := &Events{src: src, k: k}
+	g.next = func() []float64 {
+		vals := make([]float64, k)
+		for i := range vals {
+			bin := src.Zipf(skew, bins)
+			vals[i] = rng.Clamp01((float64(bin) + src.Float64()) / float64(bins))
+		}
+		return vals
+	}
+	return g
+}
+
+// Next returns the next event. Sequence numbers start at 1 and are unique
+// per generator.
+func (g *Events) Next() event.Event {
+	g.seq++
+	return event.Event{Values: g.next(), Seq: g.seq}
+}
+
+// Dims returns the event dimensionality.
+func (g *Events) Dims() int { return g.k }
+
+// RangeSizeDist selects the distribution of query range lengths, matching
+// the two §5.1 settings reported in the paper (both taken from DIM [11]).
+type RangeSizeDist int
+
+// Range size distributions.
+const (
+	// UniformSizes draws each range length uniformly from [0, 1]: most
+	// queries are large.
+	UniformSizes RangeSizeDist = iota + 1
+	// ExponentialSizes draws each range length from an exponential
+	// distribution (mean 0.1, truncated to [0, 1]): most queries are
+	// small.
+	ExponentialSizes
+)
+
+// String implements fmt.Stringer.
+func (d RangeSizeDist) String() string {
+	switch d {
+	case UniformSizes:
+		return "uniform"
+	case ExponentialSizes:
+		return "exponential"
+	default:
+		return fmt.Sprintf("RangeSizeDist(%d)", int(d))
+	}
+}
+
+// exponentialMean is the mean range length under ExponentialSizes.
+const exponentialMean = 0.1
+
+// Queries produces query populations.
+type Queries struct {
+	src *rng.Source
+	k   int
+}
+
+// NewQueries returns a query generator for k-dimensional events.
+func NewQueries(src *rng.Source, k int) *Queries {
+	return &Queries{src: src, k: k}
+}
+
+// rangeOfLength returns a random closed range of the given length placed
+// uniformly inside [0, 1].
+func (g *Queries) rangeOfLength(length float64) event.Range {
+	if length > 1 {
+		length = 1
+	}
+	lo := g.src.Uniform(0, 1-length)
+	return event.Span(lo, lo+length)
+}
+
+// ExactMatch returns an exact-match range query on every attribute with
+// range sizes drawn from dist.
+func (g *Queries) ExactMatch(dist RangeSizeDist) event.Query {
+	ranges := make([]event.Range, g.k)
+	for i := range ranges {
+		var length float64
+		switch dist {
+		case ExponentialSizes:
+			length = g.src.TruncExponential(exponentialMean, 1)
+		default:
+			length = g.src.Float64()
+		}
+		ranges[i] = g.rangeOfLength(length)
+	}
+	return event.NewQuery(ranges...)
+}
+
+// maxSpecifiedLength is the paper's cap on specified ranges of partial
+// match queries: "the range of dimensions that are not chosen is selected
+// randomly from [0, 0.25]".
+const maxSpecifiedLength = 0.25
+
+// MPartial returns an m-partial match query: m randomly chosen attributes
+// are unspecified; every other attribute gets a random range of length at
+// most 0.25.
+func (g *Queries) MPartial(m int) (event.Query, error) {
+	if m < 0 || m >= g.k {
+		return event.Query{}, fmt.Errorf("workload: m = %d must be in [0, %d)", m, g.k)
+	}
+	ranges := make([]event.Range, g.k)
+	perm := g.src.Perm(g.k)
+	wild := make(map[int]bool, m)
+	for _, i := range perm[:m] {
+		wild[i] = true
+	}
+	for i := range ranges {
+		if wild[i] {
+			ranges[i] = event.Unspecified()
+			continue
+		}
+		ranges[i] = g.rangeOfLength(g.src.Float64() * maxSpecifiedLength)
+	}
+	return event.NewQuery(ranges...), nil
+}
+
+// OnePartialAt returns a 1@n-partial match query: exactly attribute n
+// (1-based) is unspecified.
+func (g *Queries) OnePartialAt(n int) (event.Query, error) {
+	if n < 1 || n > g.k {
+		return event.Query{}, fmt.Errorf("workload: attribute %d out of range 1..%d", n, g.k)
+	}
+	ranges := make([]event.Range, g.k)
+	for i := range ranges {
+		if i == n-1 {
+			ranges[i] = event.Unspecified()
+			continue
+		}
+		ranges[i] = g.rangeOfLength(g.src.Float64() * maxSpecifiedLength)
+	}
+	return event.NewQuery(ranges...), nil
+}

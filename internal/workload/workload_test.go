@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+func TestUniformEventsValidAndUnique(t *testing.T) {
+	g := NewUniformEvents(rng.New(1), 3)
+	if g.Dims() != 3 {
+		t.Fatalf("Dims = %d", g.Dims())
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 500; i++ {
+		e := g.Next()
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if e.Seq == 0 || seen[e.Seq] {
+			t.Fatalf("duplicate or zero seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestUniformEventsCoverDomain(t *testing.T) {
+	g := NewUniformEvents(rng.New(2), 3)
+	var lowHits, highHits int
+	for i := 0; i < 2000; i++ {
+		e := g.Next()
+		if e.Values[0] < 0.1 {
+			lowHits++
+		}
+		if e.Values[0] > 0.9 {
+			highHits++
+		}
+	}
+	if lowHits < 100 || highHits < 100 {
+		t.Errorf("uniform events not covering domain: low=%d high=%d", lowHits, highHits)
+	}
+}
+
+func TestHotspotEventsCluster(t *testing.T) {
+	center := []float64{0.8, 0.5, 0.2}
+	g := NewHotspotEvents(rng.New(3), center, 0.01)
+	for i := 0; i < 500; i++ {
+		e := g.Next()
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid hotspot event: %v", err)
+		}
+		for j, v := range e.Values {
+			if math.Abs(v-center[j]) > 0.1 {
+				t.Fatalf("value %v too far from center %v", v, center[j])
+			}
+		}
+	}
+}
+
+func TestZipfEventsSkewed(t *testing.T) {
+	g := NewZipfEvents(rng.New(4), 3, 1.2, 20)
+	low := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		e := g.Next()
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid zipf event: %v", err)
+		}
+		if e.Values[0] < 0.05 { // first bin
+			low++
+		}
+	}
+	if low < n/4 {
+		t.Errorf("zipf events not skewed toward first bin: %d/%d", low, n)
+	}
+}
+
+func TestExactMatchQueriesValid(t *testing.T) {
+	for _, dist := range []RangeSizeDist{UniformSizes, ExponentialSizes} {
+		g := NewQueries(rng.New(5), 3)
+		for i := 0; i < 500; i++ {
+			q := g.ExactMatch(dist)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%v query invalid: %v", dist, err)
+			}
+			if q.Unspecified() != 0 {
+				t.Fatalf("%v query has unspecified ranges", dist)
+			}
+		}
+	}
+}
+
+func TestExponentialSizesSmallerThanUniform(t *testing.T) {
+	gu := NewQueries(rng.New(6), 3)
+	ge := NewQueries(rng.New(6), 3)
+	var sumU, sumE float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		qu := gu.ExactMatch(UniformSizes)
+		qe := ge.ExactMatch(ExponentialSizes)
+		for j := 0; j < 3; j++ {
+			sumU += qu.Ranges[j].U - qu.Ranges[j].L
+			sumE += qe.Ranges[j].U - qe.Ranges[j].L
+		}
+	}
+	meanU, meanE := sumU/(3*n), sumE/(3*n)
+	if meanU < 0.4 || meanU > 0.6 {
+		t.Errorf("uniform mean range length = %v, want ~0.5", meanU)
+	}
+	if meanE > 0.15 {
+		t.Errorf("exponential mean range length = %v, want ~0.1", meanE)
+	}
+}
+
+func TestMPartial(t *testing.T) {
+	g := NewQueries(rng.New(7), 3)
+	for _, m := range []int{0, 1, 2} {
+		counts := make(map[int]int)
+		for i := 0; i < 300; i++ {
+			q, err := g.MPartial(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m > 0 {
+				if err := q.Validate(); err != nil {
+					t.Fatalf("m=%d query invalid: %v", m, err)
+				}
+			}
+			if got := q.Unspecified(); got != m {
+				t.Fatalf("m=%d query has %d unspecified", m, got)
+			}
+			for j, r := range q.Ranges {
+				if r.Wild {
+					counts[j]++
+					continue
+				}
+				if r.U-r.L > 0.25+1e-12 {
+					t.Fatalf("specified range %v longer than 0.25", r)
+				}
+			}
+		}
+		// Unspecified positions should be spread over all attributes.
+		if m > 0 {
+			for j := 0; j < 3; j++ {
+				if counts[j] == 0 {
+					t.Errorf("m=%d never left attribute %d unspecified", m, j+1)
+				}
+			}
+		}
+	}
+	if _, err := g.MPartial(3); err == nil {
+		t.Error("m = k accepted")
+	}
+	if _, err := g.MPartial(-1); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestOnePartialAt(t *testing.T) {
+	g := NewQueries(rng.New(8), 3)
+	for n := 1; n <= 3; n++ {
+		for i := 0; i < 100; i++ {
+			q, err := g.OnePartialAt(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Unspecified() != 1 || !q.Ranges[n-1].Wild {
+				t.Fatalf("1@%d query = %v", n, q)
+			}
+			if q.Classify() != event.PartialRange && q.Classify() != event.PartialPoint {
+				t.Fatalf("1@%d query class = %v", n, q.Classify())
+			}
+		}
+	}
+	if _, err := g.OnePartialAt(0); err == nil {
+		t.Error("attribute 0 accepted")
+	}
+	if _, err := g.OnePartialAt(4); err == nil {
+		t.Error("attribute beyond k accepted")
+	}
+}
+
+func TestRangeSizeDistString(t *testing.T) {
+	if UniformSizes.String() != "uniform" || ExponentialSizes.String() != "exponential" {
+		t.Error("distribution names wrong")
+	}
+	if RangeSizeDist(9).String() == "" {
+		t.Error("unknown dist has empty String")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewUniformEvents(rng.New(9), 3)
+	b := NewUniformEvents(rng.New(9), 3)
+	for i := 0; i < 50; i++ {
+		ea, eb := a.Next(), b.Next()
+		for j := range ea.Values {
+			if ea.Values[j] != eb.Values[j] {
+				t.Fatal("same-seed event generators diverged")
+			}
+		}
+	}
+	qa := NewQueries(rng.New(10), 3)
+	qb := NewQueries(rng.New(10), 3)
+	for i := 0; i < 50; i++ {
+		if qa.ExactMatch(UniformSizes).String() != qb.ExactMatch(UniformSizes).String() {
+			t.Fatal("same-seed query generators diverged")
+		}
+	}
+}

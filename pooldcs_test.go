@@ -1,0 +1,267 @@
+package pooldcs
+
+import (
+	"testing"
+)
+
+func newSim(t testing.TB, cfg Config) *Simulation {
+	t.Helper()
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestNewSimulationDefaults(t *testing.T) {
+	sim := newSim(t, Config{Seed: 1})
+	if sim.Nodes() != 300 {
+		t.Errorf("Nodes = %d, want default 300", sim.Nodes())
+	}
+	if sim.Dims() != 3 {
+		t.Errorf("Dims = %d, want default 3", sim.Dims())
+	}
+	if sim.FieldSide() <= 0 {
+		t.Error("FieldSide not positive")
+	}
+}
+
+func TestInsertAndQueryRoundTrip(t *testing.T) {
+	sim := newSim(t, Config{Seed: 2})
+	e, err := sim.Insert(10, 0.4, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq == 0 {
+		t.Error("Insert did not assign a sequence number")
+	}
+	got, err := sim.Query(0, Span(0.35, 0.45), Span(0.25, 0.35), Span(0.05, 0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != e.Seq {
+		t.Fatalf("Query = %v, want the inserted event", got)
+	}
+	if sim.Messages() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestPartialQueryWithWildcard(t *testing.T) {
+	sim := newSim(t, Config{Seed: 3})
+	if _, err := sim.Insert(5, 0.2, 0.9, 0.81); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Insert(6, 0.2, 0.9, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Query(1, Wildcard(), Wildcard(), Span(0.8, 0.84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("partial query found %d events, want 1", len(got))
+	}
+}
+
+func TestAggregateFacade(t *testing.T) {
+	sim := newSim(t, Config{Seed: 4})
+	vals := [][3]float64{{0.1, 0.2, 0.3}, {0.2, 0.3, 0.4}, {0.3, 0.4, 0.5}}
+	for i, v := range vals {
+		if _, err := sim.Insert(i, v[0], v[1], v[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := sim.Aggregate(0, Count, 0, Span(0, 1), Span(0, 1), Span(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Count = %v, want 3", n)
+	}
+	avg, err := sim.Aggregate(0, Avg, 1, Span(0, 1), Span(0, 1), Span(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < 0.19 || avg > 0.21 {
+		t.Errorf("Avg = %v, want 0.2", avg)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	sim := newSim(t, Config{Seed: 5})
+	if _, err := sim.Insert(-1, 0.1, 0.1, 0.1); err == nil {
+		t.Error("negative origin accepted")
+	}
+	if _, err := sim.Insert(10000, 0.1, 0.1, 0.1); err == nil {
+		t.Error("out-of-range origin accepted")
+	}
+	if _, err := sim.Query(-1, Span(0, 1), Span(0, 1), Span(0, 1)); err == nil {
+		t.Error("negative sink accepted")
+	}
+	if _, err := sim.Aggregate(99999, Count, 0, Span(0, 1), Span(0, 1), Span(0, 1)); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+	if err := sim.InsertEvent(-1, Event{Values: []float64{0.1, 0.1, 0.1}}); err == nil {
+		t.Error("InsertEvent negative origin accepted")
+	}
+}
+
+func TestPointHelper(t *testing.T) {
+	p := Point(0.3)
+	if p.L != 0.3 || p.U != 0.3 || p.Wild {
+		t.Errorf("Point = %+v", p)
+	}
+}
+
+func TestCostAndReset(t *testing.T) {
+	sim := newSim(t, Config{Seed: 6})
+	if _, err := sim.Insert(0, 0.5, 0.5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if c := sim.Cost(); c.InsertMessages == 0 {
+		t.Error("Cost reports no insert messages")
+	}
+	sim.ResetCounters()
+	if sim.Messages() != 0 {
+		t.Error("ResetCounters did not zero traffic")
+	}
+	// The event is still queryable.
+	got, err := sim.Query(0, Span(0.4, 0.6), Span(0.4, 0.6), Span(0.2, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Error("event lost after counter reset")
+	}
+}
+
+func TestSharingQuotaConfig(t *testing.T) {
+	sim := newSim(t, Config{Seed: 7, SharingQuota: 5})
+	for i := 0; i < 40; i++ {
+		if _, err := sim.Insert(i%sim.Nodes(), 0.9, 0.5, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxLoad := 0
+	for _, l := range sim.StorageLoad() {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if maxLoad > 10 {
+		t.Errorf("sharing quota not honoured: max load %d", maxLoad)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		sim := newSim(t, Config{Seed: 8})
+		for i := 0; i < 30; i++ {
+			if _, err := sim.Insert(i, float64(i)/40, 0.5, 0.25); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sim.Query(0, Span(0, 1), Span(0, 1), Span(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Messages()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different traffic: %d vs %d", a, b)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := NewSimulation(Config{Nodes: 1, Seed: 1}); err == nil {
+		t.Error("single-node network accepted")
+	}
+	if _, err := NewSimulation(Config{Seed: 1, PoolSide: 100000}); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestDeleteFacade(t *testing.T) {
+	sim := newSim(t, Config{Seed: 9})
+	if _, err := sim.Insert(0, 0.2, 0.2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Insert(1, 0.8, 0.2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := sim.Delete(2, Span(0.7, 0.9), Wildcard(), Wildcard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	got, err := sim.Query(2, Span(0, 1), Span(0, 1), Span(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Values[0] != 0.2 {
+		t.Errorf("after delete: %v", got)
+	}
+	if _, err := sim.Delete(-1, Span(0, 1), Span(0, 1), Span(0, 1)); err == nil {
+		t.Error("negative sink accepted")
+	}
+}
+
+func TestNearestFacade(t *testing.T) {
+	sim := newSim(t, Config{Seed: 10})
+	if _, err := sim.Insert(0, 0.5, 0.5, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Insert(1, 0.1, 0.1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Nearest(2, []float64{0.5, 0.5, 0.21}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Values[0] != 0.5 {
+		t.Errorf("Nearest = %v", got)
+	}
+	if _, err := sim.Nearest(-1, []float64{0.5, 0.5, 0.5}, 1); err == nil {
+		t.Error("negative sink accepted")
+	}
+}
+
+func TestSubscribeFacade(t *testing.T) {
+	sim := newSim(t, Config{Seed: 11})
+	sub, err := sim.Subscribe(0, Span(0.8, 1), Wildcard(), Wildcard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Insert(1, 0.9, 0.1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	notes := sim.Notifications()
+	if len(notes) != 1 || notes[0].Sink != 0 {
+		t.Fatalf("notifications = %v", notes)
+	}
+	if err := sim.Unsubscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Subscribe(-5, Span(0, 1), Span(0, 1), Span(0, 1)); err == nil {
+		t.Error("negative sink accepted")
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	sim := newSim(t, Config{Seed: 20, MTU: 32, LossRate: 0.1, Clustered: true, Replicate: true})
+	if _, err := sim.Insert(0, 0.4, 0.3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Query(1, Span(0.3, 0.5), Span(0.2, 0.4), Span(0, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("query over lossy clustered network found %d events", len(got))
+	}
+	if _, err := NewSimulation(Config{Seed: 1, LossRate: 1.5}); err == nil {
+		t.Error("loss rate ≥ 1 accepted")
+	}
+}
