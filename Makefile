@@ -1,0 +1,29 @@
+# Build and verification targets. `make check` is the tier-1 gate:
+# everything must build, vet clean, and pass the test suite with the race
+# detector on.
+
+GO ?= go
+
+.PHONY: build test vet race check bench golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate golden files after an intentional behaviour change.
+golden:
+	$(GO) test ./cmd/poolsim -run Golden -update
+	$(GO) test ./cmd/pooltrace -run Golden -update

@@ -22,6 +22,7 @@ import (
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
+	"pooldcs/internal/trace"
 	"pooldcs/internal/wire"
 	"pooldcs/internal/workload"
 )
@@ -484,5 +485,77 @@ func BenchmarkLossyTable(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(lastRowMetric(b, res, 2), "pool-frames/query")
+	}
+}
+
+// --- Tracer overhead ---
+//
+// The disabled tracer (the default: no WithTracer option, tracer nil)
+// must cost no more than a pointer compare on the Transmit hot path.
+// Compare TracerDisabled against TracerEnabled to see the full recording
+// cost; TracerDisabled against the historical Transmit numbers to confirm
+// the hook itself is free.
+
+func benchTransmit(b *testing.B, opts ...network.Option) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(30, 0)}
+	layout, err := field.FromPositions(pts, 100, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := network.New(layout, opts...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Transmit(0, 1, network.KindInsert, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransmitTracerDisabled(b *testing.B) {
+	benchTransmit(b)
+}
+
+func BenchmarkTransmitTracerEnabled(b *testing.B) {
+	tr := trace.New(nil)
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(30, 0)}
+	layout, err := field.FromPositions(pts, 100, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := network.New(layout, network.WithTracer(tr))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Transmit(0, 1, network.KindInsert, 32); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() >= 1<<16 {
+			// Bound the event buffer so the benchmark measures recording,
+			// not allocation of an ever-growing slice.
+			tr.Reset()
+		}
+	}
+}
+
+func BenchmarkPoolInsertTracerEnabled(b *testing.B) {
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(1234))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.New(nil)
+	net := network.New(layout, network.WithTracer(tr))
+	p, err := pool.New(net, gpsr.New(layout), 3, rng.New(1235), pool.WithTracer(tr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniformEvents(rng.New(5), 3)
+	origin := rng.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Insert(origin.Intn(900), gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() >= 1<<16 {
+			tr.Reset()
+		}
 	}
 }

@@ -1,0 +1,202 @@
+// Command pooltrace records and analyzes structured simulation traces.
+//
+// Usage:
+//
+//	pooltrace record [flags] -o trace.jsonl
+//	pooltrace analyze [flags] trace.jsonl
+//
+// record replays a seeded insert+query workload (the poolsim simulation
+// model) with tracing enabled and writes the trace as JSONL, one event
+// per line. analyze loads a trace and reports per-query span trees,
+// hop-count percentiles per operation, per-node load ranking, and the
+// traffic breakdown by kind — which matches network.Counters exactly.
+//
+// record flags:
+//
+//	-system S   pool | dim (default pool)
+//	-seed N     random seed (default 42)
+//	-nodes N    deployment size (default 300)
+//	-events N   events per node (default 3)
+//	-queries N  queries (default 40)
+//	-subs N     standing queries, Pool only (default 0)
+//	-fail N     node failures before the queries, Pool only (default 0)
+//	-o PATH     output path, "-" for stdout (default "-")
+//
+// analyze flags:
+//
+//	-spans N    query span trees to print (default 3)
+//	-top N      nodes in the load ranking (default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pooldcs/internal/experiment"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pooltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no command given; choose record or analyze")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:], out)
+	case "analyze":
+		return analyze(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q; choose record or analyze", args[0])
+	}
+}
+
+// record replays a traced workload and writes the JSONL trace.
+func record(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pooltrace record", flag.ContinueOnError)
+	o := experiment.DefaultTraceOptions()
+	fs.StringVar(&o.System, "system", o.System, "traced system: pool or dim")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "random seed")
+	fs.IntVar(&o.Nodes, "nodes", o.Nodes, "deployment size")
+	fs.IntVar(&o.EventsPerNode, "events", o.EventsPerNode, "events per node")
+	fs.IntVar(&o.Queries, "queries", o.Queries, "number of queries")
+	fs.IntVar(&o.Subscriptions, "subs", 0, "standing queries (Pool only)")
+	fs.IntVar(&o.Failures, "fail", 0, "node failures before the queries (Pool only)")
+	path := fs.String("o", "-", `output path ("-" for stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("record takes no positional arguments")
+	}
+
+	res, err := experiment.TraceRun(o)
+	if err != nil {
+		return err
+	}
+	w := out
+	if *path != "-" {
+		f, err := os.Create(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteJSONL(w, res.Events); err != nil {
+		return err
+	}
+	if *path != "-" {
+		fmt.Fprintf(out, "recorded %d events (%d messages, %d query results) to %s\n",
+			len(res.Events), res.Counters.Total(), res.Matches, *path)
+	}
+	return nil
+}
+
+// analyze loads a JSONL trace and prints the report.
+func analyze(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pooltrace analyze", flag.ContinueOnError)
+	spans := fs.Int("spans", 3, "query span trees to print")
+	top := fs.Int("top", 10, "nodes in the load ranking")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze takes exactly one trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	a, err := trace.Analyze(events)
+	if err != nil {
+		return err
+	}
+	return report(out, a, *spans, *top)
+}
+
+// report renders the analysis: traffic by kind, per-operation hop
+// percentiles, node load ranking, and the first few query span trees.
+func report(out io.Writer, a *trace.Analysis, spans, top int) error {
+	fmt.Fprintf(out, "trace: %d events, %d spans, horizon %v\n\n",
+		a.Events, len(a.ByID), a.Horizon)
+
+	kinds := texttable.New("Traffic by kind", "kind", "msgs", "bytes", "lost")
+	var frames, bytes, lost uint64
+	for _, k := range a.Kinds() {
+		kt := a.ByKind[k]
+		frames += kt.Frames
+		bytes += kt.Bytes
+		lost += kt.Lost
+		kinds.AddRow(k, fmt.Sprint(kt.Frames), fmt.Sprint(kt.Bytes), fmt.Sprint(kt.Lost))
+	}
+	kinds.AddRow("total", fmt.Sprint(frames), fmt.Sprint(bytes), fmt.Sprint(lost))
+	fmt.Fprintln(out, kinds.String())
+	if a.BackgroundFrames > 0 {
+		fmt.Fprintf(out, "background (unspanned) messages: %d\n\n", a.BackgroundFrames)
+	}
+
+	ops := texttable.New("Hops per operation", "op", "count", "mean", "p50", "p95", "p99", "max")
+	for _, op := range []trace.Op{trace.OpInsert, trace.OpQuery, trace.OpSubscribe, trace.OpFail} {
+		h := a.HopHistogram(op)
+		if h.Total() == 0 {
+			continue
+		}
+		ops.AddRow(string(op), fmt.Sprint(h.Total()), texttable.Float(h.Mean(), 1),
+			fmt.Sprint(h.Quantile(50)), fmt.Sprint(h.Quantile(95)),
+			fmt.Sprint(h.Quantile(99)), fmt.Sprint(h.Max()))
+	}
+	fmt.Fprintln(out, ops.String())
+
+	if a.Horizon > 0 {
+		lat := texttable.New("Latency per operation (virtual ms)", "op", "count", "p50", "p95", "p99", "max")
+		for _, op := range []trace.Op{trace.OpInsert, trace.OpQuery} {
+			h := a.DurationHistogram(op)
+			if h.Total() == 0 {
+				continue
+			}
+			lat.AddRow(string(op), fmt.Sprint(h.Total()),
+				fmt.Sprint(h.Quantile(50)), fmt.Sprint(h.Quantile(95)),
+				fmt.Sprint(h.Quantile(99)), fmt.Sprint(h.Max()))
+		}
+		fmt.Fprintln(out, lat.String())
+	}
+
+	ranking := a.NodeRanking()
+	if top > len(ranking) {
+		top = len(ranking)
+	}
+	loads := texttable.New(fmt.Sprintf("Top %d nodes by traffic", top), "node", "tx", "rx", "total")
+	for _, n := range ranking[:top] {
+		loads.AddRow(fmt.Sprint(n.Node), fmt.Sprint(n.Tx), fmt.Sprint(n.Rx), fmt.Sprint(n.Total()))
+	}
+	fmt.Fprintln(out, loads.String())
+
+	queries := a.RootsByOp(trace.OpQuery)
+	if spans > len(queries) {
+		spans = len(queries)
+	}
+	if spans > 0 {
+		fmt.Fprintf(out, "first %d query spans:\n", spans)
+		for _, s := range queries[:spans] {
+			if err := s.WriteTree(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

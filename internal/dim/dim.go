@@ -9,6 +9,7 @@ import (
 	"pooldcs/internal/geo"
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
+	"pooldcs/internal/trace"
 )
 
 // Zone is one leaf of DIM's spatial subdivision.
@@ -72,6 +73,14 @@ func WithDissemination(d Dissemination) Option {
 	return optionFunc(func(s *System) { s.dissemination = d })
 }
 
+// WithTracer attaches a structured-event tracer so DIM runs produce
+// traces comparable to Pool's: inserts and queries become spans with
+// placement, fan-out, and zone-resolve events. Pair with
+// network.WithTracer on the same tracer for per-hop records.
+func WithTracer(t *trace.Tracer) Option {
+	return optionFunc(func(s *System) { s.tracer = t })
+}
+
 // System is a DIM instance over one network.
 type System struct {
 	net    *network.Network
@@ -83,6 +92,9 @@ type System struct {
 	maxDepth int
 
 	dissemination Dissemination
+
+	// tracer records structured events; nil disables tracing.
+	tracer *trace.Tracer
 
 	// storage holds the events stored at each node.
 	storage [][]event.Event
@@ -198,6 +210,11 @@ func (s *System) Insert(origin int, e event.Event) error {
 	}
 	z := s.ZoneOf(e.Values)
 	payload := dcs.EventBytes(s.dims)
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpInsert, origin, "")
+		defer s.tracer.End()
+		s.tracer.Record(trace.TypePlace, z.Owner, 0, fmt.Sprintf("zone %v", z.Code))
+	}
 	// The event is routed geographically toward the zone and consumed by
 	// the zone's owner on arrival (a node inside its zone recognizes the
 	// code and keeps the event; no home-node probe is needed).
@@ -257,6 +274,10 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 	rq := q.Rewrite()
 	qBytes := dcs.QueryBytes(s.dims)
 
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpQuery, sink, "")
+		defer s.tracer.End()
+	}
 	var owners []int
 	var err error
 	switch s.dissemination {
@@ -267,6 +288,9 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Record(trace.TypeFanout, sink, len(owners), s.dissemination.String())
 	}
 
 	var results []event.Event
@@ -279,6 +303,9 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 		}
 		answered[owner] = true
 		matches := rq.Filter(s.storage[owner])
+		if s.tracer.Enabled() {
+			s.tracer.Record(trace.TypeResolve, owner, len(matches), "")
+		}
 		if len(matches) > 0 {
 			results = append(results, matches...)
 			if _, err := dcs.Unicast(s.net, s.router, owner, sink, network.KindReply,

@@ -13,11 +13,13 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"pooldcs/internal/field"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/trace"
 )
 
 // Kind classifies traffic for accounting.
@@ -65,6 +67,19 @@ type EnergyModel struct {
 // DefaultEnergyModel returns the standard first-order parameters.
 func DefaultEnergyModel() EnergyModel {
 	return EnergyModel{Elec: 50e-9, Amp: 100e-12}
+}
+
+// Validate rejects physically meaningless radio parameters. Negative
+// per-bit energies would let traffic *recharge* nodes and silently corrupt
+// every lifetime metric downstream.
+func (m EnergyModel) Validate() error {
+	if m.Elec < 0 || math.IsNaN(m.Elec) {
+		return fmt.Errorf("network: electronics energy must be ≥ 0 J/bit, got %v", m.Elec)
+	}
+	if m.Amp < 0 || math.IsNaN(m.Amp) {
+		return fmt.Errorf("network: amplifier energy must be ≥ 0 J/bit/m², got %v", m.Amp)
+	}
+	return nil
 }
 
 // Counters aggregates traffic totals.
@@ -120,6 +135,10 @@ type Network struct {
 
 	sched      *sim.Scheduler
 	hopLatency time.Duration
+
+	// tracer, when non-nil, receives one record per transmission. The
+	// nil tracer costs one pointer compare on the hot path.
+	tracer *trace.Tracer
 }
 
 // ErrFrameLost reports a transmission dropped by the lossy-link model.
@@ -135,9 +154,22 @@ type optionFunc func(*Network)
 
 func (f optionFunc) apply(n *Network) { f(n) }
 
-// WithEnergyModel overrides the default radio energy model.
+// WithEnergyModel overrides the default radio energy model. Invalid
+// parameters (negative or NaN per-bit energies) are a programming error
+// and panic; pre-check with EnergyModel.Validate when the model comes
+// from external configuration.
 func WithEnergyModel(m EnergyModel) Option {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
 	return optionFunc(func(n *Network) { n.energy = m })
+}
+
+// WithTracer attaches a structured-event tracer: every Transmit and
+// Broadcast is recorded as a per-hop trace event under the tracer's
+// current span.
+func WithTracer(t *trace.Tracer) Option {
+	return optionFunc(func(n *Network) { n.tracer = t })
 }
 
 // WithMTU enables link-layer fragmentation: payloads larger than mtu
@@ -230,12 +262,18 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 	if n.lossRate > 0 && n.lossSrc.Bool(n.lossRate) {
 		// The frame left the sender's radio but never arrived: the sender
 		// paid, the receiver heard nothing.
+		if n.tracer != nil {
+			n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), true)
+		}
 		return ErrFrameLost
 	}
 	n.nodeRx[to] += frames
 	rx := n.energy.Elec * bits
 	n.energyJ += rx
 	n.nodeEnergy[to] += rx
+	if n.tracer != nil {
+		n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), false)
+	}
 	return nil
 }
 
@@ -264,6 +302,9 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 		n.nodeRx[v] += frames
 		n.energyJ += rx
 		n.nodeEnergy[v] += rx
+	}
+	if n.tracer != nil {
+		n.tracer.Broadcast(from, kind.String(), payloadBytes, int(frames), len(nbrs))
 	}
 	return nbrs
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"pooldcs/internal/geo"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/trace"
 )
 
 func chainLayout(t *testing.T) *field.Layout {
@@ -332,5 +334,152 @@ func TestLossRateDropsFrames(t *testing.T) {
 	tx, _ := n.NodeLoad(0)
 	if tx != uint64(trials) {
 		t.Errorf("sender counted %d, want %d", tx, trials)
+	}
+}
+
+func TestEnergyModelValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		model EnergyModel
+		ok    bool
+	}{
+		{"default", DefaultEnergyModel(), true},
+		{"zero", EnergyModel{}, true},
+		{"negative elec", EnergyModel{Elec: -50e-9, Amp: 100e-12}, false},
+		{"negative amp", EnergyModel{Elec: 50e-9, Amp: -1}, false},
+		{"nan elec", EnergyModel{Elec: math.NaN()}, false},
+		{"nan amp", EnergyModel{Amp: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		err := c.model.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid model accepted", c.name)
+		}
+	}
+}
+
+func TestWithEnergyModelPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithEnergyModel accepted a negative per-bit energy")
+		}
+	}()
+	WithEnergyModel(EnergyModel{Elec: -1})
+}
+
+func TestTransmitRecordsTraceHops(t *testing.T) {
+	tr := trace.New(nil)
+	n := New(chainLayout(t), WithTracer(tr), WithMTU(16))
+	if err := n.Transmit(0, 1, KindInsert, 40); err != nil { // 3 frames
+		t.Fatal(err)
+	}
+	if err := n.Transmit(1, 2, KindQuery, 8); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(evs))
+	}
+	want := trace.Event{Type: trace.TypeHop, From: 0, To: 1, Kind: "insert",
+		Bytes: 40, Frames: 3, Node: -1}
+	if evs[0] != want {
+		t.Errorf("hop event = %+v, want %+v", evs[0], want)
+	}
+	if evs[1].Kind != "query" || evs[1].Frames != 1 {
+		t.Errorf("second hop = %+v", evs[1])
+	}
+}
+
+func TestTransmitRecordsLostFrames(t *testing.T) {
+	tr := trace.New(nil)
+	n := New(chainLayout(t), WithTracer(tr), WithLossRate(0.5, rng.New(7)))
+	lost := 0
+	for i := 0; i < 100; i++ {
+		if err := n.Transmit(0, 1, KindInsert, 4); errors.Is(err, ErrFrameLost) {
+			lost++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var traceLost int
+	for _, ev := range tr.Events() {
+		if ev.Lost {
+			traceLost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no frames lost at rate 0.5")
+	}
+	if traceLost != lost {
+		t.Errorf("trace recorded %d lost frames, network dropped %d", traceLost, lost)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("trace has %d hops, want 100 (lost frames included)", tr.Len())
+	}
+}
+
+func TestBroadcastRecordsTrace(t *testing.T) {
+	tr := trace.New(nil)
+	n := New(chainLayout(t), WithTracer(tr))
+	nbrs := n.Broadcast(1, KindControl, 8)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Type != trace.TypeBroadcast {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].From != 1 || evs[0].Kind != "control" || evs[0].N != len(nbrs) {
+		t.Errorf("broadcast event = %+v, want from=1 kind=control n=%d", evs[0], len(nbrs))
+	}
+}
+
+// TestFailedTransmitNotTraced pins the invariant behind the trace/counter
+// consistency check: link errors increment neither counters nor trace.
+func TestFailedTransmitNotTraced(t *testing.T) {
+	tr := trace.New(nil)
+	n := New(chainLayout(t), WithTracer(tr))
+	if err := n.Transmit(2, 3, KindInsert, 8); err == nil {
+		t.Fatal("expected link error")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("link error produced %d trace events", tr.Len())
+	}
+}
+
+// TestTraceMatchesCountersByKind cross-checks the tracer against the
+// accounting layer over mixed unicast, broadcast, fragmented, and lossy
+// traffic: per-kind frame and byte totals must agree exactly.
+func TestTraceMatchesCountersByKind(t *testing.T) {
+	tr := trace.New(nil)
+	n := New(chainLayout(t), WithTracer(tr), WithMTU(16), WithLossRate(0.3, rng.New(3)))
+	links := [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}}
+	for i := 0; i < 200; i++ {
+		kind := Kinds()[i%len(Kinds())]
+		link := links[i%len(links)]
+		err := n.Transmit(link[0], link[1], kind, 4+i%40)
+		if err != nil && !errors.Is(err, ErrFrameLost) {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			n.Broadcast(i%3, KindControl, 24)
+		}
+	}
+	a, err := trace.Analyze(tr.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Snapshot()
+	for _, k := range Kinds() {
+		kt := a.ByKind[k.String()]
+		if kt.Frames != c.Messages[k] {
+			t.Errorf("%v frames: trace %d, counters %d", k, kt.Frames, c.Messages[k])
+		}
+		if kt.Bytes != c.Bytes[k] {
+			t.Errorf("%v bytes: trace %d, counters %d", k, kt.Bytes, c.Bytes[k])
+		}
+	}
+	if a.TotalFrames() != c.Total() {
+		t.Errorf("total frames: trace %d, counters %d", a.TotalFrames(), c.Total())
 	}
 }

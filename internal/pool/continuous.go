@@ -6,6 +6,7 @@ import (
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/event"
 	"pooldcs/internal/network"
+	"pooldcs/internal/trace"
 )
 
 // Subscription is a standing (continuous) query: after registration,
@@ -40,12 +41,19 @@ func (s *System) Subscribe(sink int, q event.Query) (*Subscription, error) {
 	sub := &Subscription{ID: s.subSeq, Sink: sink, Query: rq}
 	qBytes := dcs.QueryBytes(s.dims)
 
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpSubscribe, sink, "")
+		defer s.tracer.End()
+	}
 	for _, p := range s.pools {
 		cells := p.RelevantCells(rq)
 		if len(cells) == 0 {
 			continue
 		}
 		splitter := s.SplitterFor(p, sink)
+		if s.tracer.Enabled() {
+			s.tracer.Record(trace.TypeFanout, splitter, len(cells), fmt.Sprintf("P%d", p.Dim))
+		}
 		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindControl, qBytes); err != nil {
 			return nil, fmt.Errorf("pool: subscribe to splitter: %w", err)
 		}
@@ -74,6 +82,10 @@ func (s *System) Unsubscribe(sub *Subscription) error {
 		return fmt.Errorf("pool: nil subscription")
 	}
 	qBytes := dcs.QueryBytes(s.dims)
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpUnsubscribe, sub.Sink, "")
+		defer s.tracer.End()
+	}
 	removedAny := false
 	for _, key := range sub.keys {
 		list := s.subs[key]
@@ -121,6 +133,9 @@ func (s *System) notifySubscribers(key storeKey, index int, e event.Event) error
 	for _, sub := range s.subs[key] {
 		if !sub.Query.Matches(e) {
 			continue
+		}
+		if s.tracer.Enabled() {
+			s.tracer.Record(trace.TypeNotify, sub.Sink, 1, "")
 		}
 		if _, err := dcs.Unicast(s.net, s.router, index, sub.Sink, network.KindReply,
 			dcs.ReplyBytes(s.dims, 1)); err != nil {

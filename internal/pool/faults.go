@@ -8,6 +8,7 @@ import (
 	"pooldcs/internal/event"
 	"pooldcs/internal/geo"
 	"pooldcs/internal/network"
+	"pooldcs/internal/trace"
 )
 
 // Replication and node failure are extensions beyond the paper (which
@@ -45,6 +46,13 @@ func (s *System) FailNode(id int) error {
 		return nil
 	}
 	s.dead[id] = true
+	if s.tracer.Enabled() {
+		// Recovery traffic below (mirror restores, re-homing) lands in
+		// the failure's span.
+		s.tracer.Begin(trace.OpFail, id, "")
+		defer s.tracer.End()
+		s.tracer.Record(trace.TypeFault, id, 0, "")
+	}
 
 	// Re-elect index nodes for the failed node's cells.
 	for cell, holder := range s.holder {

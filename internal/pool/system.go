@@ -9,6 +9,7 @@ import (
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
 	"pooldcs/internal/rng"
+	"pooldcs/internal/trace"
 )
 
 // Default configuration values from the paper's §5.1 simulation model.
@@ -26,6 +27,7 @@ type config struct {
 	pivots    []CellID
 	quota     int // per-node storage quota before delegation; 0 disables sharing
 	replicate bool
+	tracer    *trace.Tracer
 }
 
 // Option configures New.
@@ -63,6 +65,15 @@ func WithWorkloadSharing(quota int) Option {
 	return optionFunc(func(c *config) { c.quota = quota })
 }
 
+// WithTracer attaches a structured-event tracer: inserts and queries run
+// inside spans, with placement, splitter fan-out, cell resolve, reply
+// aggregation, notification, and fault events recorded. Pair it with
+// network.WithTracer on the same tracer so per-hop records land inside
+// the operation spans.
+func WithTracer(t *trace.Tracer) Option {
+	return optionFunc(func(c *config) { c.tracer = t })
+}
+
 // storeKey addresses the storage of one cell of one Pool.
 type storeKey struct {
 	dim  int // 1-based Pool dimension
@@ -96,6 +107,9 @@ type System struct {
 	quota int
 	// delegations counts workload-sharing segment creations.
 	delegations int
+
+	// tracer records structured events; nil disables tracing.
+	tracer *trace.Tracer
 
 	// Replication and failure state (faults.go).
 	replicate    bool
@@ -144,6 +158,7 @@ func New(net *network.Network, router *gpsr.Router, dims int, src *rng.Source, o
 		store:     make(map[storeKey][]segment),
 		stored:    make([]int, layout.N()),
 		quota:     cfg.quota,
+		tracer:    cfg.tracer,
 		replicate: cfg.replicate,
 		dead:      make([]bool, layout.N()),
 	}
@@ -261,6 +276,11 @@ func (s *System) Insert(origin int, e event.Event) error {
 	// consumes it on arrival (cell membership and the index role are
 	// cell-local knowledge, so no home-node probe is needed — §2).
 	index := s.holder[bestCell]
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpInsert, origin, "")
+		defer s.tracer.End()
+		s.tracer.Record(trace.TypePlace, index, bestDim, fmt.Sprintf("P%d %v", bestDim, bestCell))
+	}
 	if _, err := dcs.Unicast(s.net, s.router, origin, index, network.KindInsert, payload); err != nil {
 		return fmt.Errorf("pool: insert: %w", err)
 	}
@@ -382,48 +402,75 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 	rq := q.Rewrite()
 	qBytes := dcs.QueryBytes(s.dims)
 
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpQuery, sink, "")
+		defer s.tracer.End()
+	}
 	var results []event.Event
 	for _, p := range s.pools {
-		cells := p.RelevantCells(rq)
-		if len(cells) == 0 {
-			continue
+		poolResults, err := s.queryPool(p, sink, rq, qBytes)
+		if err != nil {
+			return nil, err
 		}
-		splitter := s.SplitterFor(p, sink)
-		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
-			return nil, fmt.Errorf("pool: query to splitter: %w", err)
-		}
-		var poolResults []event.Event
-		for _, c := range cells {
-			index := s.holder[c]
-			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
-					return nil, fmt.Errorf("pool: query to cell %v: %w", c, err)
-				}
-			}
-			matches, err := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
-			if err != nil {
-				return nil, err
-			}
-			if len(matches) == 0 {
-				continue
-			}
-			poolResults = append(poolResults, matches...)
-			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply,
-					dcs.ReplyBytes(s.dims, len(matches))); err != nil {
-					return nil, fmt.Errorf("pool: reply from cell %v: %w", c, err)
-				}
-			}
-		}
-		if len(poolResults) > 0 {
-			if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply,
-				dcs.ReplyBytes(s.dims, len(poolResults))); err != nil {
-				return nil, fmt.Errorf("pool: reply to sink: %w", err)
-			}
-			results = append(results, poolResults...)
-		}
+		results = append(results, poolResults...)
 	}
 	return results, nil
+}
+
+// queryPool resolves the (rewritten) query against one Pool: the query is
+// forwarded through the Pool's splitter to every relevant cell, and the
+// replies converge back through the splitter (§3.2.3). When tracing, the
+// whole exchange runs inside a fan-out sub-span of the query span.
+func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int) ([]event.Event, error) {
+	cells := p.RelevantCells(rq)
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	splitter := s.SplitterFor(p, sink)
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpFanout, splitter, fmt.Sprintf("P%d", p.Dim))
+		defer s.tracer.End()
+		s.tracer.Record(trace.TypeFanout, splitter, len(cells), fmt.Sprintf("P%d", p.Dim))
+	}
+	if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
+		return nil, fmt.Errorf("pool: query to splitter: %w", err)
+	}
+	var poolResults []event.Event
+	for _, c := range cells {
+		index := s.holder[c]
+		if index != splitter {
+			if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
+				return nil, fmt.Errorf("pool: query to cell %v: %w", c, err)
+			}
+		}
+		matches, err := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
+		if err != nil {
+			return nil, err
+		}
+		if s.tracer.Enabled() {
+			s.tracer.Record(trace.TypeResolve, index, len(matches), c.String())
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		poolResults = append(poolResults, matches...)
+		if index != splitter {
+			if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply,
+				dcs.ReplyBytes(s.dims, len(matches))); err != nil {
+				return nil, fmt.Errorf("pool: reply from cell %v: %w", c, err)
+			}
+		}
+	}
+	if len(poolResults) > 0 {
+		if s.tracer.Enabled() {
+			s.tracer.Record(trace.TypeReply, splitter, len(poolResults), "")
+		}
+		if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply,
+			dcs.ReplyBytes(s.dims, len(poolResults))); err != nil {
+			return nil, fmt.Errorf("pool: reply to sink: %w", err)
+		}
+	}
+	return poolResults, nil
 }
 
 // queryCell scans all storage segments of one cell. Delegated segments

@@ -151,3 +151,140 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 		t.Error("Step on empty queue returned true")
 	}
 }
+
+func TestAtExactlyNowAllowed(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run()
+	// t == now is the boundary: not the past, so it must be accepted.
+	ran := false
+	if err := s.At(s.Now(), func() { ran = true }); err != nil {
+		t.Fatalf("At(now) = %v, want nil", err)
+	}
+	s.Run()
+	if !ran {
+		t.Error("event scheduled at now did not run")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestAtInPastLeavesQueueUntouched(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run()
+	if err := s.At(1, func() { t.Error("past event fired") }); err != ErrPast {
+		t.Fatalf("err = %v, want ErrPast", err)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("rejected event enqueued: pending = %d", s.Pending())
+	}
+	s.Run()
+}
+
+func TestAtInPastAfterIdleAdvance(t *testing.T) {
+	// RunUntil advances the clock even with no events; scheduling before
+	// that idle-advanced time is still the past.
+	s := NewScheduler()
+	if err := s.RunUntil(time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(30*time.Second, func() {}); err != ErrPast {
+		t.Errorf("err = %v, want ErrPast", err)
+	}
+}
+
+func TestRunUntilBudgetExactFit(t *testing.T) {
+	// Exactly maxEvents events inside the horizon is not a runaway.
+	s := NewScheduler()
+	for i := 1; i <= 4; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	if err := s.RunUntil(10*time.Second, 4); err != nil {
+		t.Fatalf("budget == workload errored: %v", err)
+	}
+	if s.Now() != 10*time.Second || s.Pending() != 0 {
+		t.Errorf("now=%v pending=%d after exact-fit run", s.Now(), s.Pending())
+	}
+}
+
+func TestRunUntilBudgetStateIsResumable(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	n := 0
+	tick = func() { n++; s.After(time.Millisecond, tick) }
+	s.After(0, tick)
+	if err := s.RunUntil(time.Hour, 10); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The guard must stop at the budget, leave the runaway chain pending,
+	// and not jump the clock to the horizon.
+	if n != 10 {
+		t.Errorf("fired %d events, budget was 10", n)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want the next chained event", s.Pending())
+	}
+	if s.Now() >= time.Hour {
+		t.Errorf("clock jumped to horizon %v despite budget stop", s.Now())
+	}
+	// A fresh budget resumes the same chain.
+	if err := s.RunUntil(time.Hour, 10); err != ErrBudget {
+		t.Fatalf("resume err = %v, want ErrBudget", err)
+	}
+	if n != 20 {
+		t.Errorf("fired %d events after resume, want 20", n)
+	}
+}
+
+func TestRunUntilZeroBudgetUnlimited(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() { fired++ })
+	}
+	if err := s.RunUntil(time.Second, 0); err != nil {
+		t.Fatalf("unlimited budget errored: %v", err)
+	}
+	if fired != 5000 {
+		t.Errorf("fired = %d, want 5000", fired)
+	}
+}
+
+func TestRunUntilEventAtHorizonFires(t *testing.T) {
+	s := NewScheduler()
+	atHorizon, after := false, false
+	s.After(time.Second, func() { atHorizon = true })
+	s.After(time.Second+1, func() { after = true })
+	if err := s.RunUntil(time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !atHorizon {
+		t.Error("event exactly at horizon did not fire")
+	}
+	if after {
+		t.Error("event past horizon fired")
+	}
+}
+
+func TestRunUntilBudgetCountsPerCall(t *testing.T) {
+	// The budget is per RunUntil call, not cumulative over the scheduler's
+	// lifetime: a prior run must not eat into a later call's budget.
+	s := NewScheduler()
+	for i := 1; i <= 3; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	if err := s.RunUntil(3*time.Second, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	if err := s.RunUntil(6*time.Second, 3); err != nil {
+		t.Fatalf("second call err = %v; budget leaked across calls", err)
+	}
+	if s.Executed() != 6 {
+		t.Errorf("Executed = %d, want 6", s.Executed())
+	}
+}

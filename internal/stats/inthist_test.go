@@ -1,0 +1,68 @@
+package stats
+
+import "testing"
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Total() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(50) != 0 {
+		t.Errorf("empty histogram not all-zero: %s", h)
+	}
+}
+
+func TestIntHistogramStats(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int64{4, -2, 4, 10, 4} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Min() != -2 || h.Max() != 10 {
+		t.Errorf("Min/Max = %d/%d, want -2/10", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 4.0; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestIntHistogramQuantile(t *testing.T) {
+	h := NewIntHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestIntHistogramMatchesPercentile pins Quantile to the same
+// nearest-rank convention as the slice-based Percentile.
+func TestIntHistogramMatchesPercentile(t *testing.T) {
+	samples := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	h := NewIntHistogram()
+	for _, v := range samples {
+		h.Add(int64(v))
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99} {
+		want := int64(Percentile(samples, p))
+		if got := h.Quantile(p); got != want {
+			t.Errorf("Quantile(%v) = %d, Percentile = %d", p, got, want)
+		}
+	}
+}
+
+func TestIntHistogramString(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(7)
+	if got, want := h.String(), "n=1 p50=7 p95=7 p99=7 max=7"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pooldcs/internal/stats"
+)
+
+// KindTotals aggregates the traffic of one class across a trace.
+type KindTotals struct {
+	// Frames counts transmissions (one per link-layer frame), matching
+	// network.Counters.Messages.
+	Frames uint64
+	// Bytes counts payload bytes, matching network.Counters.Bytes.
+	Bytes uint64
+	// Lost counts frames dropped by the lossy-link model.
+	Lost uint64
+}
+
+// NodeTotals is one node's hop-level load.
+type NodeTotals struct {
+	Node   int
+	Tx, Rx uint64
+}
+
+// Total returns the node's combined load.
+func (n NodeTotals) Total() uint64 { return n.Tx + n.Rx }
+
+// Item is one chronological entry of a span: either a semantic record or
+// a child span.
+type Item struct {
+	Record *Event
+	Child  *Span
+}
+
+// Span is one reconstructed span with its children, records, and traffic.
+type Span struct {
+	ID     uint64
+	Op     Op
+	Node   int
+	Detail string
+	Parent uint64
+	Start  time.Duration
+	End    time.Duration
+	// Items holds records and child spans in event order.
+	Items []Item
+	// HopsOwn / BytesOwn / LostOwn count traffic recorded directly in
+	// this span, excluding children.
+	HopsOwn  uint64
+	BytesOwn uint64
+	LostOwn  uint64
+
+	children []*Span
+}
+
+// Duration returns the span's virtual-time extent (zero in traces
+// recorded without a scheduler).
+func (s *Span) Duration() time.Duration { return s.End - s.Start }
+
+// Hops returns the frames sent in this span and all its descendants.
+func (s *Span) Hops() uint64 {
+	total := s.HopsOwn
+	for _, c := range s.children {
+		total += c.Hops()
+	}
+	return total
+}
+
+// Lost returns the lost frames in this span and all its descendants.
+func (s *Span) Lost() uint64 {
+	total := s.LostOwn
+	for _, c := range s.children {
+		total += c.Lost()
+	}
+	return total
+}
+
+// Analysis is the digest of a trace.
+type Analysis struct {
+	// Events is the number of trace records analyzed.
+	Events int
+	// Roots lists top-level spans in start order.
+	Roots []*Span
+	// ByID indexes every span.
+	ByID map[uint64]*Span
+	// ByKind aggregates hop traffic per kind, spanned or not.
+	ByKind map[string]KindTotals
+	// Nodes aggregates per-node hop load.
+	Nodes map[int]*NodeTotals
+	// Horizon is the largest timestamp seen.
+	Horizon time.Duration
+	// BackgroundFrames counts frames recorded outside any span.
+	BackgroundFrames uint64
+}
+
+// Analyze reconstructs spans and aggregates from a flat event stream.
+func Analyze(events []Event) (*Analysis, error) {
+	a := &Analysis{
+		Events: len(events),
+		ByID:   make(map[uint64]*Span),
+		ByKind: make(map[string]KindTotals),
+		Nodes:  make(map[int]*NodeTotals),
+	}
+	span := func(id uint64) (*Span, error) {
+		if id == 0 {
+			return nil, nil
+		}
+		s, ok := a.ByID[id]
+		if !ok {
+			return nil, fmt.Errorf("trace: event references unknown span %d", id)
+		}
+		return s, nil
+	}
+	node := func(id int) *NodeTotals {
+		n, ok := a.Nodes[id]
+		if !ok {
+			n = &NodeTotals{Node: id}
+			a.Nodes[id] = n
+		}
+		return n
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.T > a.Horizon {
+			a.Horizon = ev.T
+		}
+		switch ev.Type {
+		case TypeSpanStart:
+			if _, dup := a.ByID[ev.Span]; dup {
+				return nil, fmt.Errorf("trace: span %d started twice", ev.Span)
+			}
+			s := &Span{
+				ID: ev.Span, Op: ev.Op, Node: ev.Node, Detail: ev.Detail,
+				Parent: ev.Parent, Start: ev.T, End: ev.T,
+			}
+			a.ByID[ev.Span] = s
+			parent, err := span(ev.Parent)
+			if err != nil {
+				return nil, err
+			}
+			if parent == nil {
+				a.Roots = append(a.Roots, s)
+			} else {
+				parent.Items = append(parent.Items, Item{Child: s})
+				parent.children = append(parent.children, s)
+			}
+		case TypeSpanEnd:
+			s, err := span(ev.Span)
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				s.End = ev.T
+			}
+		case TypeHop, TypeBroadcast:
+			s, err := span(ev.Span)
+			if err != nil {
+				return nil, err
+			}
+			frames := uint64(ev.Frames)
+			kt := a.ByKind[ev.Kind]
+			kt.Frames += frames
+			kt.Bytes += uint64(ev.Bytes)
+			if ev.Lost {
+				kt.Lost += frames
+			}
+			a.ByKind[ev.Kind] = kt
+			node(ev.From).Tx += frames
+			if ev.Type == TypeHop && !ev.Lost {
+				node(ev.To).Rx += frames
+			}
+			if s == nil {
+				a.BackgroundFrames += frames
+			} else {
+				s.HopsOwn += frames
+				s.BytesOwn += uint64(ev.Bytes)
+				if ev.Lost {
+					s.LostOwn += frames
+				}
+			}
+		default:
+			s, err := span(ev.Span)
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				s.Items = append(s.Items, Item{Record: ev})
+			}
+		}
+	}
+	return a, nil
+}
+
+// RootsByOp returns the top-level spans of one operation, in start order.
+func (a *Analysis) RootsByOp(op Op) []*Span {
+	var out []*Span
+	for _, s := range a.Roots {
+		if s.Op == op {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HopHistogram collects the total hop count of every top-level span of
+// one operation — the per-operation message-cost distribution.
+func (a *Analysis) HopHistogram(op Op) *stats.IntHistogram {
+	h := stats.NewIntHistogram()
+	for _, s := range a.RootsByOp(op) {
+		h.Add(int64(s.Hops()))
+	}
+	return h
+}
+
+// DurationHistogram collects the virtual-time duration, in milliseconds,
+// of every top-level span of one operation. All zero when the trace was
+// recorded without a scheduler.
+func (a *Analysis) DurationHistogram(op Op) *stats.IntHistogram {
+	h := stats.NewIntHistogram()
+	for _, s := range a.RootsByOp(op) {
+		h.Add(s.Duration().Milliseconds())
+	}
+	return h
+}
+
+// Kinds returns the traffic classes seen, sorted by name.
+func (a *Analysis) Kinds() []string {
+	out := make([]string, 0, len(a.ByKind))
+	for k := range a.ByKind {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalFrames returns the frame total across all kinds.
+func (a *Analysis) TotalFrames() uint64 {
+	var t uint64
+	for _, kt := range a.ByKind {
+		t += kt.Frames
+	}
+	return t
+}
+
+// NodeRanking returns per-node loads sorted by total descending, node id
+// ascending on ties.
+func (a *Analysis) NodeRanking() []NodeTotals {
+	out := make([]NodeTotals, 0, len(a.Nodes))
+	for _, n := range a.Nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// WriteTree renders the span and its descendants as an indented tree:
+// one line per span with its hop totals, one line per semantic record.
+func (s *Span) WriteTree(w io.Writer) error {
+	return s.writeTree(w, "")
+}
+
+func (s *Span) writeTree(w io.Writer, indent string) error {
+	line := fmt.Sprintf("%s%s#%d", indent, s.Op, s.ID)
+	if s.Detail != "" {
+		line += " " + s.Detail
+	}
+	line += fmt.Sprintf(" node=%d hops=%d", s.Node, s.Hops())
+	if lost := s.Lost(); lost > 0 {
+		line += fmt.Sprintf(" lost=%d", lost)
+	}
+	if d := s.Duration(); d > 0 {
+		line += fmt.Sprintf(" t=%v", d)
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, it := range s.Items {
+		if it.Child != nil {
+			if err := it.Child.writeTree(w, indent+"  "); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, indent+"  "+formatRecord(it.Record)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatRecord renders one semantic record for the tree view.
+func formatRecord(ev *Event) string {
+	withDetail := func(verb, counted string) string {
+		line := verb
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		line += fmt.Sprintf(" node=%d", ev.Node)
+		if counted != "" {
+			line += fmt.Sprintf(" %s=%d", counted, ev.N)
+		}
+		return line
+	}
+	switch ev.Type {
+	case TypePlace:
+		return withDetail("place", "")
+	case TypeFanout:
+		return withDetail("fanout", "cells")
+	case TypeResolve:
+		return withDetail("resolve", "matches")
+	case TypeReply:
+		return withDetail("reply", "events")
+	case TypeNotify:
+		return fmt.Sprintf("notify sink=%d", ev.Node)
+	case TypeFault:
+		return fmt.Sprintf("fault node=%d", ev.Node)
+	default:
+		return withDetail(ev.Type.String(), "n")
+	}
+}

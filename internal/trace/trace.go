@@ -1,0 +1,261 @@
+// Package trace records structured, causally-grouped events from a
+// simulation run: per-hop radio transmissions, insertion placements,
+// splitter fan-outs, cell resolves, reply aggregations, continuous-query
+// pushes, and fault injections. Events carry virtual timestamps from the
+// discrete-event clock and are organized into spans — one span per
+// top-level operation (insert, query, subscribe, node failure), with
+// sub-spans for per-Pool fan-out — so a trace can be replayed into the
+// exact hop tree a query induced.
+//
+// A nil *Tracer is the disabled tracer: every method is a guarded no-op,
+// so instrumented hot paths (network.Transmit in particular) pay only a
+// nil pointer compare when tracing is off. Instrumentation sites that
+// compute event details (fmt.Sprintf of cell ids and the like) must guard
+// with Enabled so disabled runs never pay for formatting.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type classifies trace events.
+type Type int
+
+// Event types.
+const (
+	// TypeSpanStart opens a span (Op, Node, Parent are set).
+	TypeSpanStart Type = iota + 1
+	// TypeSpanEnd closes the span.
+	TypeSpanEnd
+	// TypeHop is one per-hop radio transmission (From, To, Kind, Bytes,
+	// Frames; Lost marks frames dropped by the lossy-link model).
+	TypeHop
+	// TypeBroadcast is one local broadcast (From, Kind, Bytes, Frames; N
+	// is the number of neighbours reached).
+	TypeBroadcast
+	// TypePlace is an insertion placement decision: Node is the index
+	// node (or zone owner) chosen, Detail names the cell or zone.
+	TypePlace
+	// TypeFanout is a splitter (or dissemination) fan-out: Node is the
+	// splitter, N the number of cells (or zones) addressed.
+	TypeFanout
+	// TypeResolve is one cell/zone resolve: Node is the index node
+	// scanned, N the number of matching events.
+	TypeResolve
+	// TypeReply is a reply aggregation: Node is the aggregating node, N
+	// the number of events carried back.
+	TypeReply
+	// TypeNotify is one continuous-query push: Node is the notified sink.
+	TypeNotify
+	// TypeFault is a fault injection: Node is the failed node.
+	TypeFault
+)
+
+// typeNames maps Type values to their wire names.
+var typeNames = map[Type]string{
+	TypeSpanStart: "span_start",
+	TypeSpanEnd:   "span_end",
+	TypeHop:       "hop",
+	TypeBroadcast: "broadcast",
+	TypePlace:     "place",
+	TypeFanout:    "fanout",
+	TypeResolve:   "resolve",
+	TypeReply:     "reply",
+	TypeNotify:    "notify",
+	TypeFault:     "fault",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// TypeFromString parses a wire name back into a Type.
+func TypeFromString(s string) (Type, error) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event type %q", s)
+}
+
+// Op names the operation a span covers.
+type Op string
+
+// Span operations.
+const (
+	OpInsert      Op = "insert"
+	OpQuery       Op = "query"
+	OpFanout      Op = "fanout" // per-Pool sub-span of a query
+	OpSubscribe   Op = "subscribe"
+	OpUnsubscribe Op = "unsubscribe"
+	OpFail        Op = "fail"
+)
+
+// Event is one trace record. Node fields not applicable to the event type
+// hold -1.
+type Event struct {
+	// T is the virtual timestamp (zero when the run has no scheduler).
+	T time.Duration `json:"t"`
+	// Span is the id of the owning span; 0 marks background traffic
+	// recorded outside any span.
+	Span uint64 `json:"span,omitempty"`
+	// Type discriminates the record.
+	Type Type `json:"type"`
+	// Op is the span operation (span_start only).
+	Op Op `json:"op,omitempty"`
+	// Parent is the enclosing span id (span_start only).
+	Parent uint64 `json:"parent,omitempty"`
+	// From and To are the hop endpoints (hop and broadcast records).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Kind is the traffic class of a hop (network.Kind.String()).
+	Kind string `json:"kind,omitempty"`
+	// Bytes and Frames are the payload size and frame count of a hop.
+	Bytes  int `json:"bytes,omitempty"`
+	Frames int `json:"frames,omitempty"`
+	// Lost marks a hop dropped by the lossy-link model.
+	Lost bool `json:"lost,omitempty"`
+	// Node is the acting node of a semantic event.
+	Node int `json:"node"`
+	// N is a generic count: cells fanned out to, events matched, events
+	// aggregated, neighbours reached.
+	N int `json:"n,omitempty"`
+	// Detail is a short human-readable qualifier (cell id, pool, zone).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Clock supplies virtual timestamps; *sim.Scheduler implements it. A nil
+// Clock pins every timestamp to zero.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Tracer accumulates events in memory. The zero-cost disabled tracer is
+// the nil pointer; construct enabled tracers with New.
+type Tracer struct {
+	clock  Clock
+	events []Event
+	stack  []uint64
+	nextID uint64
+}
+
+// New returns an enabled Tracer stamping events from clock (nil clock:
+// all timestamps zero).
+func New(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) now() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// current returns the innermost open span id, or 0.
+func (t *Tracer) current() uint64 {
+	if len(t.stack) == 0 {
+		return 0
+	}
+	return t.stack[len(t.stack)-1]
+}
+
+// Begin opens a span for op at node (detail optional) nested under the
+// currently open span, and returns its id. On the nil tracer it returns 0.
+func (t *Tracer) Begin(op Op, node int, detail string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	id := t.nextID
+	t.events = append(t.events, Event{
+		T: t.now(), Span: id, Type: TypeSpanStart, Op: op,
+		Parent: t.current(), From: -1, To: -1, Node: node, Detail: detail,
+	})
+	t.stack = append(t.stack, id)
+	return id
+}
+
+// End closes the innermost open span. Unbalanced End calls are no-ops.
+func (t *Tracer) End() {
+	if t == nil || len(t.stack) == 0 {
+		return
+	}
+	id := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	t.events = append(t.events, Event{
+		T: t.now(), Span: id, Type: TypeSpanEnd, From: -1, To: -1, Node: -1,
+	})
+}
+
+// Hop records one per-hop transmission under the current span.
+func (t *Tracer) Hop(from, to int, kind string, bytes, frames int, lost bool) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		T: t.now(), Span: t.current(), Type: TypeHop,
+		From: from, To: to, Kind: kind, Bytes: bytes, Frames: frames,
+		Lost: lost, Node: -1,
+	})
+}
+
+// Broadcast records one local broadcast reaching n neighbours.
+func (t *Tracer) Broadcast(from int, kind string, bytes, frames, n int) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		T: t.now(), Span: t.current(), Type: TypeBroadcast,
+		From: from, To: -1, Kind: kind, Bytes: bytes, Frames: frames,
+		Node: -1, N: n,
+	})
+}
+
+// Record appends a semantic event (placement, fan-out, resolve, reply,
+// notify, fault) under the current span.
+func (t *Tracer) Record(typ Type, node, n int, detail string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		T: t.now(), Span: t.current(), Type: typ,
+		From: -1, To: -1, Node: node, N: n, Detail: detail,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events. The slice is owned by the tracer;
+// callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Reset drops all recorded events and open spans, keeping the clock.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+	t.stack = t.stack[:0]
+	t.nextID = 0
+}
