@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench golden
+.PHONY: build test vet race fuzz chaos check bench golden
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# Short fuzz smoke: random fault plans + queries must never panic or
+# over-report completeness.
+fuzz:
+	$(GO) test ./internal/chaos -run=NONE -fuzz=FuzzResolveUnderFaults -fuzztime=10s
+
+# Race-enabled sweep of the chaos seeds (fault injection, churn
+# experiment, pool/dim repair paths).
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/experiment -run 'Churn|Fault|Chaos|Fail|Degrad'
+
+check: build vet race fuzz chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

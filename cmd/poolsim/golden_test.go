@@ -24,6 +24,7 @@ func TestGolden(t *testing.T) {
 		{"fig7b", []string{"-quick", "fig7b"}},
 		{"insert", []string{"-quick", "insert"}},
 		{"pointquery", []string{"-quick", "pointquery"}},
+		{"churn", []string{"-quick", "churn"}},
 	}
 	for _, tc := range cases {
 		tc := tc

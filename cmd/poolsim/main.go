@@ -7,7 +7,7 @@
 //
 // Experiments: fig6a, fig6b, fig7a, fig7b, insert, hotspot, poolsize,
 // pointquery, aggregate, energy, fragmentation, dissemination,
-// resilience, dimsweep, variance, placement, eventload, latency,
+// resilience, churn, dimsweep, variance, placement, eventload, latency,
 // asynclatency, lossy, all.
 //
 // Flags:
@@ -79,6 +79,9 @@ var experiments = map[string]runner{
 	"resilience": func(cfg experiment.Config) (*experiment.Result, error) {
 		return experiment.Resilience(cfg, []int{5, 10, 20, 30})
 	},
+	"churn": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Churn(cfg, []int{0, 5, 10, 20})
+	},
 	"fragmentation": experiment.Fragmentation,
 }
 
@@ -86,7 +89,7 @@ var experiments = map[string]runner{
 var order = []string{
 	"fig6a", "fig6b", "fig7a", "fig7b",
 	"insert", "hotspot", "poolsize", "pointquery", "aggregate",
-	"energy", "fragmentation", "dissemination", "resilience", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
+	"energy", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
 }
 
 func run(args []string, out io.Writer) error {

@@ -1,0 +1,331 @@
+// Package chaos injects deterministic, scheduled faults into a running
+// universe: node crashes and recoveries, battery-depletion deaths, and
+// transient regional loss bursts. A Plan is a timed fault script; an
+// Engine executes it on the simulation scheduler, tearing each fault
+// through every layer in order — routing first (so repair traffic
+// detours around the corpse), then the radio, then each storage
+// protocol's repair hook.
+//
+// The paper assumes reliable nodes; this package supplies the churn its
+// robustness evaluation needs (experiment.Churn) and the substrate for
+// fuzzing query resolution under arbitrary fault interleavings.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+	"pooldcs/internal/trace"
+)
+
+// FaultKind selects what a Fault does.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// Crash kills a node at every layer at time At.
+	Crash FaultKind = iota + 1
+	// Recover brings a crashed node back (unless its battery is dead).
+	Recover
+	// Burst opens a regional loss window: frames touching Region drop
+	// with probability Rate for Duration.
+	Burst
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	case Burst:
+		return "burst"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// At is the virtual time the fault fires.
+	At time.Duration
+	// Kind selects the fault type.
+	Kind FaultKind
+	// Node is the target of a Crash or Recover.
+	Node int
+	// Region, Rate, and Duration parameterize a Burst.
+	Region   geo.Rect
+	Rate     float64
+	Duration time.Duration
+}
+
+// Plan is a deterministic fault script: the same plan executed on the
+// same universe always produces the same trajectory.
+type Plan struct {
+	Faults []Fault
+}
+
+// Crash appends a node crash at time at.
+func (p *Plan) Crash(at time.Duration, node int) {
+	p.Faults = append(p.Faults, Fault{At: at, Kind: Crash, Node: node})
+}
+
+// Recover appends a node recovery at time at.
+func (p *Plan) Recover(at time.Duration, node int) {
+	p.Faults = append(p.Faults, Fault{At: at, Kind: Recover, Node: node})
+}
+
+// Burst appends a regional loss burst at time at.
+func (p *Plan) Burst(at time.Duration, region geo.Rect, rate float64, duration time.Duration) {
+	p.Faults = append(p.Faults, Fault{At: at, Kind: Burst, Region: region, Rate: rate, Duration: duration})
+}
+
+// Validate checks the plan against a universe of n nodes.
+func (p Plan) Validate(n int) error {
+	crashed := 0
+	for i, f := range p.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("chaos: fault %d fires at negative time %v", i, f.At)
+		}
+		switch f.Kind {
+		case Crash:
+			if f.Node < 0 || f.Node >= n {
+				return fmt.Errorf("chaos: fault %d crashes node %d, universe has %d", i, f.Node, n)
+			}
+			crashed++
+		case Recover:
+			if f.Node < 0 || f.Node >= n {
+				return fmt.Errorf("chaos: fault %d recovers node %d, universe has %d", i, f.Node, n)
+			}
+		case Burst:
+			if f.Rate < 0 || f.Rate > 1 {
+				return fmt.Errorf("chaos: fault %d burst rate %v outside [0,1]", i, f.Rate)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("chaos: fault %d burst duration %v must be positive", i, f.Duration)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d has unknown kind %v", i, f.Kind)
+		}
+	}
+	if crashed >= n {
+		return fmt.Errorf("chaos: plan crashes %d of %d nodes; at least one must survive", crashed, n)
+	}
+	return nil
+}
+
+// RandomChurn builds a plan that crashes a deterministic random fraction
+// of the universe, spread uniformly over the horizon; each victim later
+// recovers with probability recoverFrac. Kills are capped at n-2 so the
+// network keeps at least a sender and a receiver.
+func RandomChurn(src *rng.Source, n int, frac, recoverFrac float64, horizon time.Duration) Plan {
+	kills := int(frac * float64(n))
+	if kills > n-2 {
+		kills = n - 2
+	}
+	var p Plan
+	if kills <= 0 {
+		return p
+	}
+	victims := src.Perm(n)[:kills]
+	for _, v := range victims {
+		at := time.Duration(src.Float64() * float64(horizon))
+		p.Crash(at, v)
+		if src.Bool(recoverFrac) {
+			back := at + time.Duration(src.Float64()*float64(horizon-at))
+			p.Recover(back, v)
+		}
+	}
+	return p
+}
+
+// System is the storage-protocol view of a fault: both pool.System and
+// dim.System implement it.
+type System interface {
+	FailNode(id int) error
+	RecoverNode(id int)
+	Failed(id int) bool
+}
+
+// Engine executes faults against one universe: a scheduler, a network,
+// the router over it, and the storage systems sharing them.
+type Engine struct {
+	sched   *sim.Scheduler
+	net     *network.Network
+	router  *gpsr.Router
+	systems []System
+
+	tracer      *trace.Tracer
+	burstSrc    *rng.Source
+	detectDelay time.Duration
+
+	down []bool
+
+	crashes, recoveries, bursts int
+	errs                        []error
+}
+
+// EngineOption configures NewEngine.
+type EngineOption interface {
+	apply(*Engine)
+}
+
+type engineOption func(*Engine)
+
+func (f engineOption) apply(e *Engine) { f(e) }
+
+// WithTracer records every executed fault as a trace.TypeFault event.
+func WithTracer(t *trace.Tracer) EngineOption {
+	return engineOption(func(e *Engine) { e.tracer = t })
+}
+
+// WithBurstSource sets the random source burst frame drops draw from
+// (default a fixed-seed source, so plans stay deterministic without it).
+func WithBurstSource(src *rng.Source) EngineOption {
+	return engineOption(func(e *Engine) { e.burstSrc = src })
+}
+
+// WithDetectionDelay makes crashes take effect in two steps, modelling
+// the time a real deployment needs to notice a silent mote: routing and
+// the radio die immediately, but the storage protocols' repair
+// (System.FailNode) runs only d later — and not at all if the node came
+// back in the meantime. Queries issued inside the window exercise the
+// graceful-degradation path against an undetected corpse. Default 0:
+// repair runs synchronously inside CrashNode.
+func WithDetectionDelay(d time.Duration) EngineOption {
+	return engineOption(func(e *Engine) { e.detectDelay = d })
+}
+
+// NewEngine wires an engine to a universe. Battery-depletion deaths are
+// hooked up immediately: when the network reports a node's budget spent,
+// the engine schedules a crash for it at the current virtual time
+// (deferred one scheduler event, since depletion fires mid-transmit).
+func NewEngine(sched *sim.Scheduler, net *network.Network, router *gpsr.Router, systems []System, opts ...EngineOption) *Engine {
+	e := &Engine{
+		sched:   sched,
+		net:     net,
+		router:  router,
+		systems: systems,
+		down:    make([]bool, net.Layout().N()),
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	if e.burstSrc == nil {
+		e.burstSrc = rng.New(0x0C5A05)
+	}
+	net.OnDepleted(func(id int) {
+		sched.After(0, func() { e.CrashNode(id) })
+	})
+	return e
+}
+
+// Schedule validates the plan and queues every fault on the scheduler.
+// The faults fire as the caller drives the scheduler (Run / RunUntil),
+// interleaved with whatever workload is queued alongside.
+func (e *Engine) Schedule(p Plan) error {
+	if err := p.Validate(len(e.down)); err != nil {
+		return err
+	}
+	for _, f := range p.Faults {
+		f := f
+		if err := e.sched.At(f.At, func() { e.execute(f) }); err != nil {
+			return fmt.Errorf("chaos: scheduling %v at %v: %w", f.Kind, f.At, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execute(f Fault) {
+	switch f.Kind {
+	case Crash:
+		e.CrashNode(f.Node)
+	case Recover:
+		e.RecoverNode(f.Node)
+	case Burst:
+		e.StartBurst(f.Region, f.Rate, f.Duration)
+	}
+}
+
+// CrashNode kills a node at every layer: routing excludes it, the radio
+// goes silent, and each storage system runs its repair protocol. Repair
+// errors (a protocol finding no survivor to re-home onto) are collected,
+// not fatal — see Errs. Crashing a dead node is a no-op.
+func (e *Engine) CrashNode(id int) {
+	if id < 0 || id >= len(e.down) || e.down[id] {
+		return
+	}
+	e.down[id] = true
+	e.crashes++
+	if e.tracer.Enabled() {
+		e.tracer.Record(trace.TypeFault, id, 0, "chaos crash")
+	}
+	e.router.Exclude(id)
+	e.net.FailNode(id)
+	if e.detectDelay > 0 {
+		e.sched.After(e.detectDelay, func() {
+			if e.down[id] {
+				e.repair(id)
+			}
+		})
+		return
+	}
+	e.repair(id)
+}
+
+// repair runs every storage protocol's failure handler for id.
+func (e *Engine) repair(id int) {
+	for _, s := range e.systems {
+		if err := s.FailNode(id); err != nil {
+			e.errs = append(e.errs, fmt.Errorf("chaos: crash %d: %w", id, err))
+		}
+	}
+}
+
+// RecoverNode brings a crashed node back at every layer. A node that
+// died of battery depletion stays dead — there is no battery to reboot
+// with. Recovering an alive node is a no-op.
+func (e *Engine) RecoverNode(id int) {
+	if id < 0 || id >= len(e.down) || !e.down[id] || e.net.Depleted(id) {
+		return
+	}
+	e.down[id] = false
+	e.recoveries++
+	if e.tracer.Enabled() {
+		e.tracer.Record(trace.TypeFault, id, 0, "chaos recover")
+	}
+	e.router.Restore(id)
+	e.net.RecoverNode(id)
+	for _, s := range e.systems {
+		s.RecoverNode(id)
+	}
+}
+
+// StartBurst opens a regional loss window now and schedules its end.
+func (e *Engine) StartBurst(region geo.Rect, rate float64, duration time.Duration) {
+	e.bursts++
+	if e.tracer.Enabled() {
+		e.tracer.Record(trace.TypeFault, -1, int(rate*100), "chaos burst")
+	}
+	cancel := e.net.AddRegionLoss(region, rate, e.burstSrc)
+	e.sched.After(duration, cancel)
+}
+
+// Down reports whether the engine currently holds the node down.
+func (e *Engine) Down(id int) bool { return e.down[id] }
+
+// Crashes returns the number of crashes executed so far.
+func (e *Engine) Crashes() int { return e.crashes }
+
+// Recoveries returns the number of recoveries executed so far.
+func (e *Engine) Recoveries() int { return e.recoveries }
+
+// Errs returns repair errors collected during crashes (typically "no
+// surviving node" when a plan kills nearly everything).
+func (e *Engine) Errs() []error { return e.errs }

@@ -1,0 +1,326 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pooldcs/internal/dim"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// universe is one simulated deployment with a Pool system over it.
+type universe struct {
+	sched  *sim.Scheduler
+	net    *network.Network
+	router *gpsr.Router
+	pool   *pool.System
+	engine *Engine
+}
+
+func newUniverse(t testing.TB, n int, seed int64, netOpts []network.Option, poolOpts ...pool.Option) *universe {
+	t.Helper()
+	l, err := field.Generate(field.DefaultSpec(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	net := network.New(l, netOpts...)
+	router := gpsr.New(l)
+	p, err := pool.New(net, router, 3, rng.New(seed+1), poolOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &universe{sched: sched, net: net, router: router, pool: p}
+	u.engine = NewEngine(sched, net, router, []System{p})
+	return u
+}
+
+func fullDomain() event.Query {
+	return event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan func() Plan
+		ok   bool
+	}{
+		{"empty", func() Plan { return Plan{} }, true},
+		{"crash in range", func() Plan { var p Plan; p.Crash(0, 5); return p }, true},
+		{"crash out of range", func() Plan { var p Plan; p.Crash(0, 10); return p }, false},
+		{"negative time", func() Plan { var p Plan; p.Crash(-time.Second, 1); return p }, false},
+		{"burst rate over 1", func() Plan {
+			var p Plan
+			p.Burst(0, geo.RectFromCorners(geo.Pt(0, 0), geo.Pt(1, 1)), 1.5, time.Second)
+			return p
+		}, false},
+		{"burst zero duration", func() Plan {
+			var p Plan
+			p.Burst(0, geo.RectFromCorners(geo.Pt(0, 0), geo.Pt(1, 1)), 0.5, 0)
+			return p
+		}, false},
+		{"kills everyone", func() Plan {
+			var p Plan
+			for i := 0; i < 10; i++ {
+				p.Crash(0, i)
+			}
+			return p
+		}, false},
+		{"unknown kind", func() Plan { return Plan{Faults: []Fault{{Kind: FaultKind(99)}}} }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan().Validate(10)
+			if c.ok && err != nil {
+				t.Errorf("valid plan rejected: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+}
+
+func TestRandomChurnDeterministic(t *testing.T) {
+	a := RandomChurn(rng.New(42), 100, 0.2, 0.5, time.Minute)
+	b := RandomChurn(rng.New(42), 100, 0.2, 0.5, time.Minute)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	crashes := 0
+	for _, f := range a.Faults {
+		if f.Kind == Crash {
+			crashes++
+		}
+		if f.Kind == Recover {
+			// A recovery always follows its crash.
+			found := false
+			for _, g := range a.Faults {
+				if g.Kind == Crash && g.Node == f.Node && g.At <= f.At {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("node %d recovers at %v without a prior crash", f.Node, f.At)
+			}
+		}
+	}
+	if crashes != 20 {
+		t.Errorf("0.2 churn over 100 nodes = %d crashes, want 20", crashes)
+	}
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill cap keeps two survivors even at absurd churn fractions.
+	extreme := RandomChurn(rng.New(7), 10, 5.0, 0, time.Minute)
+	crashes = 0
+	for _, f := range extreme.Faults {
+		if f.Kind == Crash {
+			crashes++
+		}
+	}
+	if crashes != 8 {
+		t.Errorf("capped churn killed %d of 10, want 8", crashes)
+	}
+}
+
+func TestCrashTearsEveryLayer(t *testing.T) {
+	u := newUniverse(t, 100, 800, nil, pool.WithReplication())
+	victim := 13
+	u.engine.CrashNode(victim)
+
+	if !u.engine.Down(victim) {
+		t.Error("engine does not hold the node down")
+	}
+	if !u.router.Excluded(victim) {
+		t.Error("router still routes through the corpse")
+	}
+	if u.net.Alive(victim) {
+		t.Error("radio still on the air")
+	}
+	if !u.pool.Failed(victim) {
+		t.Error("pool repair did not run")
+	}
+	// Idempotent.
+	u.engine.CrashNode(victim)
+	if u.engine.Crashes() != 1 {
+		t.Errorf("double crash counted: %d", u.engine.Crashes())
+	}
+
+	u.engine.RecoverNode(victim)
+	if u.engine.Down(victim) || u.router.Excluded(victim) || !u.net.Alive(victim) || u.pool.Failed(victim) {
+		t.Error("recovery did not restore every layer")
+	}
+	if len(u.engine.Errs()) != 0 {
+		t.Errorf("unexpected repair errors: %v", u.engine.Errs())
+	}
+}
+
+func TestScheduledPlanExecutes(t *testing.T) {
+	u := newUniverse(t, 100, 810, nil, pool.WithReplication())
+	var p Plan
+	p.Crash(1*time.Second, 7)
+	p.Crash(2*time.Second, 8)
+	p.Recover(3*time.Second, 7)
+	if err := u.engine.Schedule(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing happens before the clock reaches the fault times.
+	if u.engine.Down(7) {
+		t.Fatal("fault fired before its time")
+	}
+	if err := u.sched.RunUntil(1500*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !u.engine.Down(7) || u.engine.Down(8) {
+		t.Fatal("faults out of order at t=1.5s")
+	}
+	u.sched.Run()
+	if u.engine.Down(7) {
+		t.Error("node 7 not recovered")
+	}
+	if !u.engine.Down(8) {
+		t.Error("node 8 not crashed")
+	}
+	if u.engine.Crashes() != 2 || u.engine.Recoveries() != 1 {
+		t.Errorf("crashes=%d recoveries=%d, want 2/1", u.engine.Crashes(), u.engine.Recoveries())
+	}
+}
+
+func TestScheduleRejectsInvalidPlan(t *testing.T) {
+	u := newUniverse(t, 10, 820, nil)
+	var p Plan
+	p.Crash(0, 99)
+	if err := u.engine.Schedule(p); err == nil {
+		t.Fatal("invalid plan scheduled")
+	}
+}
+
+func TestBurstWindowOpensAndCloses(t *testing.T) {
+	u := newUniverse(t, 100, 830, nil)
+	// Find a linked pair to probe the burst with.
+	l := u.net.Layout()
+	from, to := -1, -1
+	for i := 0; i < l.N() && from < 0; i++ {
+		for j := i + 1; j < l.N(); j++ {
+			if u.net.InRange(i, j) {
+				from, to = i, j
+				break
+			}
+		}
+	}
+	if from < 0 {
+		t.Fatal("no linked pair")
+	}
+	everything := geo.RectFromCorners(geo.Pt(0, 0), geo.Pt(l.Side, l.Side))
+
+	var p Plan
+	p.Burst(1*time.Second, everything, 1.0, time.Second)
+	if err := u.engine.Schedule(p); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := u.sched.RunUntil(1500*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the window every frame drops.
+	if err := u.net.Transmit(from, to, network.KindControl, 8); !errors.Is(err, network.ErrFrameLost) {
+		t.Fatalf("transmit inside burst: %v, want frame loss", err)
+	}
+	u.sched.Run()
+	// After the window the link is clean again.
+	if err := u.net.Transmit(from, to, network.KindControl, 8); err != nil {
+		t.Fatalf("transmit after burst: %v", err)
+	}
+}
+
+func TestDepletionDeathIsPermanent(t *testing.T) {
+	// A tiny budget: the first transmissions push a node over and the
+	// depletion watcher crashes it through the engine.
+	l, err := field.Generate(field.DefaultSpec(100), rng.New(840))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := network.DefaultEnergyModel()
+	// Budget ≈ a couple of max-range transmissions.
+	bits := float64(8 * (32 + 16))
+	r := l.Spec.RadioRange
+	em.Budget = 2.5 * (em.Elec*bits + em.Amp*bits*r*r)
+
+	sched := sim.NewScheduler()
+	net := network.New(l, network.WithEnergyModel(em))
+	router := gpsr.New(l)
+	p, err := pool.New(net, router, 3, rng.New(841), pool.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(sched, net, router, []System{p})
+
+	// Hammer one link until the sender's battery dies.
+	from, to := -1, -1
+	for i := 0; i < l.N() && from < 0; i++ {
+		for j := 0; j < l.N(); j++ {
+			if i != j && net.InRange(i, j) {
+				from, to = i, j
+				break
+			}
+		}
+	}
+	for i := 0; i < 10 && !net.Depleted(from); i++ {
+		_ = net.Transmit(from, to, network.KindControl, 32)
+	}
+	if !net.Depleted(from) {
+		t.Fatal("node never depleted")
+	}
+	// The watcher deferred the crash to the scheduler.
+	if engine.Down(from) {
+		t.Fatal("crash ran reentrantly inside Transmit")
+	}
+	sched.Run()
+	if !engine.Down(from) || !p.Failed(from) {
+		t.Fatal("depletion did not crash the node through the engine")
+	}
+	// A battery death cannot be recovered from.
+	engine.RecoverNode(from)
+	if !engine.Down(from) {
+		t.Error("recovered a battery-dead node")
+	}
+}
+
+func TestEngineDrivesBothSystems(t *testing.T) {
+	l, err := field.Generate(field.DefaultSpec(150), rng.New(850))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	net := network.New(l)
+	router := gpsr.New(l)
+	p, err := pool.New(net, router, 3, rng.New(851), pool.WithReplication())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dim.New(net, router, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(sched, net, router, []System{p, d})
+	engine.CrashNode(42)
+	if !p.Failed(42) || !d.Failed(42) {
+		t.Fatal("crash did not reach both systems")
+	}
+	engine.RecoverNode(42)
+	if p.Failed(42) || d.Failed(42) {
+		t.Fatal("recovery did not reach both systems")
+	}
+}

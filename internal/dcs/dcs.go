@@ -62,24 +62,60 @@ func ReplyBytes(k, n int) int {
 	return headerBytes + n*k*perValueBytes
 }
 
-// maxRetransmissions bounds per-hop link-layer retries on lossy links.
-const maxRetransmissions = 16
+// DefaultMaxRetransmissions is the per-hop link-layer retry budget used
+// when no TxOptions override it.
+const DefaultMaxRetransmissions = 16
+
+// ErrHopExhausted reports a hop that stayed lossy through the whole ARQ
+// retry budget. Test with errors.Is.
+var ErrHopExhausted = errors.New("dcs: hop retransmission budget exhausted")
+
+// ErrUnreachable reports a destination no amount of retransmission can
+// reach: the next hop (or the destination itself) is crashed or depleted,
+// or the alive routing graph is partitioned. Test with errors.Is.
+var ErrUnreachable = errors.New("dcs: destination unreachable")
+
+// TxOptions tunes routed-unicast behaviour. The zero value selects the
+// defaults, so existing call sites keep their semantics.
+type TxOptions struct {
+	// MaxRetransmissions bounds per-hop link-layer retries on lossy
+	// links; 0 selects DefaultMaxRetransmissions.
+	MaxRetransmissions int
+}
+
+func (o TxOptions) retries() int {
+	if o.MaxRetransmissions > 0 {
+		return o.MaxRetransmissions
+	}
+	return DefaultMaxRetransmissions
+}
 
 // Unicast routes a payload from one node to another with GPSR, charging
 // one transmission per hop to the network counters. On lossy links each
 // hop retransmits until the frame gets through (ARQ), so every attempt is
 // paid for. It returns the number of transmissions performed.
 func Unicast(net *network.Network, router *gpsr.Router, from, to int, kind network.Kind, payloadBytes int) (int, error) {
+	return UnicastOpts(net, router, from, to, kind, payloadBytes, TxOptions{})
+}
+
+// UnicastOpts is Unicast with an explicit retry budget. Errors wrap
+// ErrUnreachable when a dead node or partition blocks the route (retrying
+// is futile) and ErrHopExhausted when a hop stayed lossy through the whole
+// ARQ budget (a retry at a higher layer may succeed).
+func UnicastOpts(net *network.Network, router *gpsr.Router, from, to int, kind network.Kind, payloadBytes int, opts TxOptions) (int, error) {
 	if from == to {
 		return 0, nil
 	}
 	res, err := router.RouteToNode(from, to)
 	if err != nil {
+		if errors.Is(err, gpsr.ErrUnreachable) {
+			return 0, fmt.Errorf("dcs: unicast %d→%d: %v: %w", from, to, err, ErrUnreachable)
+		}
 		return 0, fmt.Errorf("dcs: unicast %d→%d: %w", from, to, err)
 	}
 	sent := 0
 	for i := 1; i < len(res.Path); i++ {
-		if n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes); err != nil {
+		if n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes, opts); err != nil {
 			return sent + n, fmt.Errorf("dcs: unicast %d→%d at hop %d: %w", from, to, i, err)
 		} else {
 			sent += n
@@ -89,19 +125,26 @@ func Unicast(net *network.Network, router *gpsr.Router, from, to int, kind netwo
 }
 
 // transmitARQ performs one logical hop with link-layer retransmission,
-// returning the number of frames actually sent.
-func transmitARQ(net *network.Network, from, to int, kind network.Kind, payloadBytes int) (int, error) {
+// returning the number of frames actually sent. A crashed or depleted
+// endpoint aborts immediately (wrapping ErrUnreachable); a hop that stays
+// lossy through the retry budget wraps ErrHopExhausted.
+func transmitARQ(net *network.Network, from, to int, kind network.Kind, payloadBytes int, opts TxOptions) (int, error) {
+	max := opts.retries()
 	for attempt := 1; ; attempt++ {
 		err := net.Transmit(from, to, kind, payloadBytes)
 		if err == nil {
 			return attempt, nil
 		}
+		if errors.Is(err, network.ErrNodeDown) {
+			// Retransmitting into a dead radio cannot help.
+			return attempt, fmt.Errorf("dcs: hop %d→%d: %v: %w", from, to, err, ErrUnreachable)
+		}
 		if !errors.Is(err, network.ErrFrameLost) {
 			return attempt, err
 		}
-		if attempt >= maxRetransmissions {
+		if attempt >= max {
 			return attempt, fmt.Errorf("dcs: hop %d→%d dropped after %d attempts: %w",
-				from, to, attempt, err)
+				from, to, attempt, ErrHopExhausted)
 		}
 	}
 }
@@ -110,19 +153,54 @@ func transmitARQ(net *network.Network, from, to int, kind network.Kind, payloadB
 // charging one transmission per hop, and returns the home node that
 // consumed the packet along with the hop count.
 func GeoUnicast(net *network.Network, router *gpsr.Router, from int, target geo.Point, kind network.Kind, payloadBytes int) (home, hops int, err error) {
+	return GeoUnicastOpts(net, router, from, target, kind, payloadBytes, TxOptions{})
+}
+
+// GeoUnicastOpts is GeoUnicast with an explicit retry budget; error
+// semantics match UnicastOpts.
+func GeoUnicastOpts(net *network.Network, router *gpsr.Router, from int, target geo.Point, kind network.Kind, payloadBytes int, opts TxOptions) (home, hops int, err error) {
 	res, err := router.Route(from, target)
 	if err != nil {
+		if errors.Is(err, gpsr.ErrUnreachable) {
+			return -1, 0, fmt.Errorf("dcs: geounicast from %d to %v: %v: %w", from, target, err, ErrUnreachable)
+		}
 		return -1, 0, fmt.Errorf("dcs: geounicast from %d to %v: %w", from, target, err)
 	}
 	sent := 0
 	for i := 1; i < len(res.Path); i++ {
-		n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes)
+		n, err := transmitARQ(net, res.Path[i-1], res.Path[i], kind, payloadBytes, opts)
 		sent += n
 		if err != nil {
 			return res.Home, sent, fmt.Errorf("dcs: geounicast from %d at hop %d: %w", from, i, err)
 		}
 	}
 	return res.Home, sent, nil
+}
+
+// Completeness reports how much of a query's fan-out was actually served.
+// Under churn a query may return a partial answer: some cells (Pool) or
+// zones (DIM) stay unreachable through the retry policy. CellsTotal is the
+// fan-out size; CellsReached counts the cells whose index nodes were
+// queried AND whose replies made it back to the sink; Retries counts
+// alternate-destination attempts spent on the way.
+type Completeness struct {
+	CellsTotal   int
+	CellsReached int
+	Retries      int
+	// Unreached lists the cells or zones left unserved, in fan-out order,
+	// by their human-readable ids.
+	Unreached []string
+}
+
+// Complete reports whether every cell of the fan-out was served.
+func (c Completeness) Complete() bool { return c.CellsReached == c.CellsTotal }
+
+// Fraction returns CellsReached/CellsTotal, and 1 for an empty fan-out.
+func (c Completeness) Fraction() float64 {
+	if c.CellsTotal == 0 {
+		return 1
+	}
+	return float64(c.CellsReached) / float64(c.CellsTotal)
 }
 
 // CostReport summarizes the traffic attributable to one operation or one

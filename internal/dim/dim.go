@@ -1,6 +1,7 @@
 package dim
 
 import (
+	"errors"
 	"fmt"
 
 	"pooldcs/internal/dcs"
@@ -81,6 +82,13 @@ func WithTracer(t *trace.Tracer) Option {
 	return optionFunc(func(s *System) { s.tracer = t })
 }
 
+// WithARQBudget overrides the per-hop link-layer retransmission budget
+// for every routed unicast the system issues (default
+// dcs.DefaultMaxRetransmissions).
+func WithARQBudget(n int) Option {
+	return optionFunc(func(s *System) { s.arq = dcs.TxOptions{MaxRetransmissions: n} })
+}
+
 // System is a DIM instance over one network.
 type System struct {
 	net    *network.Network
@@ -96,8 +104,14 @@ type System struct {
 	// tracer records structured events; nil disables tracing.
 	tracer *trace.Tracer
 
+	// arq is the per-hop retransmission budget for routed unicasts.
+	arq dcs.TxOptions
+
 	// storage holds the events stored at each node.
 	storage [][]event.Event
+
+	// dead marks failed nodes (faults.go).
+	dead []bool
 }
 
 var _ dcs.System = (*System)(nil)
@@ -115,12 +129,20 @@ func New(net *network.Network, router *gpsr.Router, dims int, opts ...Option) (*
 		dims:          dims,
 		dissemination: ChainDissemination,
 		storage:       make([][]event.Event, net.Layout().N()),
+		dead:          make([]bool, net.Layout().N()),
 	}
 	for _, o := range opts {
 		o.apply(s)
 	}
 	s.buildZones()
 	return s, nil
+}
+
+// unicast routes a payload between two nodes, applying the system's ARQ
+// retransmission budget. Every routed exchange in the package goes
+// through here.
+func (s *System) unicast(from, to int, kind network.Kind, payloadBytes int) (int, error) {
+	return dcs.UnicastOpts(s.net, s.router, from, to, kind, payloadBytes, s.arq)
 }
 
 // Name implements dcs.System.
@@ -218,7 +240,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 	// The event is routed geographically toward the zone and consumed by
 	// the zone's owner on arrival (a node inside its zone recognizes the
 	// code and keeps the event; no home-node probe is needed).
-	if _, err := dcs.Unicast(s.net, s.router, origin, z.Owner, network.KindInsert, payload); err != nil {
+	if _, err := s.unicast(origin, z.Owner, network.KindInsert, payload); err != nil {
 		return fmt.Errorf("dim: insert: %w", err)
 	}
 	s.storage[z.Owner] = append(s.storage[z.Owner], e)
@@ -263,13 +285,39 @@ func (s *System) collect(t *treeNode, depth int, region []geo.Interval, q event.
 
 // Query implements dcs.System: the query is disseminated to every
 // relevant zone (strategy per WithDissemination) and every owner holding
-// qualifying events replies to the sink.
+// qualifying events replies to the sink. Under node failures the query
+// degrades gracefully — zones that stay unreachable after one retry are
+// skipped; use QueryWithReport to learn how complete the answer is.
 func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	results, _, err := s.QueryWithReport(sink, q)
+	return results, err
+}
+
+// zoneVisit is one relevant zone the dissemination reached, in visit
+// order; ok is cleared when the owner's reply is later lost.
+type zoneVisit struct {
+	zone Zone
+	ok   bool
+}
+
+// degradable reports whether a unicast failure is one graceful
+// degradation absorbs: a dead or partitioned destination, or a hop that
+// exhausted its ARQ budget.
+func degradable(err error) bool {
+	return errors.Is(err, dcs.ErrUnreachable) || errors.Is(err, dcs.ErrHopExhausted)
+}
+
+// QueryWithReport is Query plus a Completeness report over the relevant
+// zones: how many the dissemination addressed, how many were served
+// (visited and, when they held matches, replied), and which were left
+// unreached. An incomplete answer is not an error.
+func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error) {
+	var comp dcs.Completeness
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("dim: %w", err)
+		return nil, comp, fmt.Errorf("dim: %w", err)
 	}
 	if q.Dims() != s.dims {
-		return nil, fmt.Errorf("dim: query has %d dims, index built for %d", q.Dims(), s.dims)
+		return nil, comp, fmt.Errorf("dim: query has %d dims, index built for %d", q.Dims(), s.dims)
 	}
 	rq := q.Rewrite()
 	qBytes := dcs.QueryBytes(s.dims)
@@ -278,26 +326,27 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 		s.tracer.Begin(trace.OpQuery, sink, "")
 		defer s.tracer.End()
 	}
-	var owners []int
+	var visits []zoneVisit
 	var err error
 	switch s.dissemination {
 	case SplitDissemination:
-		owners, err = s.disseminateSplit(sink, rq, qBytes)
+		visits, err = s.disseminateSplit(sink, rq, qBytes, &comp)
 	default:
-		owners, err = s.disseminateChain(sink, rq, qBytes)
+		visits, err = s.disseminateChain(sink, rq, qBytes, &comp)
 	}
 	if err != nil {
-		return nil, err
+		return nil, comp, err
 	}
 	if s.tracer.Enabled() {
-		s.tracer.Record(trace.TypeFanout, sink, len(owners), s.dissemination.String())
+		s.tracer.Record(trace.TypeFanout, sink, len(visits), s.dissemination.String())
 	}
 
 	var results []event.Event
 	// A node may own several relevant zones (backup ownership of empty
 	// zones); its storage is scanned and answered only once.
-	answered := make(map[int]bool, len(owners))
-	for _, owner := range owners {
+	answered := make(map[int]bool, len(visits))
+	for _, v := range visits {
+		owner := v.zone.Owner
 		if answered[owner] {
 			continue
 		}
@@ -306,64 +355,116 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 		if s.tracer.Enabled() {
 			s.tracer.Record(trace.TypeResolve, owner, len(matches), "")
 		}
-		if len(matches) > 0 {
-			results = append(results, matches...)
-			if _, err := dcs.Unicast(s.net, s.router, owner, sink, network.KindReply,
-				dcs.ReplyBytes(s.dims, len(matches))); err != nil {
-				return nil, fmt.Errorf("dim: reply: %w", err)
+		if len(matches) == 0 {
+			continue
+		}
+		replyBytes := dcs.ReplyBytes(s.dims, len(matches))
+		if _, err := s.unicast(owner, sink, network.KindReply, replyBytes); err != nil {
+			if !degradable(err) {
+				return nil, comp, fmt.Errorf("dim: reply: %w", err)
+			}
+			comp.Retries++
+			if _, err := s.unicast(owner, sink, network.KindReply, replyBytes); err != nil {
+				if !degradable(err) {
+					return nil, comp, fmt.Errorf("dim: reply: %w", err)
+				}
+				// The reply never made it: every zone this owner serves
+				// goes unserved.
+				for i := range visits {
+					if visits[i].zone.Owner == owner {
+						visits[i].ok = false
+					}
+				}
+				continue
 			}
 		}
+		results = append(results, matches...)
 	}
-	return results, nil
+	for _, v := range visits {
+		if v.ok {
+			comp.CellsReached++
+		} else {
+			comp.Unreached = append(comp.Unreached, fmt.Sprintf("zone %v", v.zone.Code))
+		}
+	}
+	return results, comp, nil
 }
 
 // disseminateChain forwards the query through the relevant zones in code
-// order, returning the visited owners.
-func (s *System) disseminateChain(sink int, rq event.Query, qBytes int) ([]int, error) {
+// order, returning the visited zones. A zone whose owner stays
+// unreachable after one retry is recorded in comp and skipped; the chain
+// continues from the previous carrier.
+func (s *System) disseminateChain(sink int, rq event.Query, qBytes int, comp *dcs.Completeness) ([]zoneVisit, error) {
 	zones := s.RelevantZones(rq)
-	owners := make([]int, 0, len(zones))
+	comp.CellsTotal += len(zones)
+	visits := make([]zoneVisit, 0, len(zones))
 	cur := sink
 	for _, z := range zones {
 		if z.Owner != cur {
-			if _, err := dcs.Unicast(s.net, s.router, cur, z.Owner, network.KindQuery, qBytes); err != nil {
-				return nil, fmt.Errorf("dim: query forward: %w", err)
+			if _, err := s.unicast(cur, z.Owner, network.KindQuery, qBytes); err != nil {
+				if !degradable(err) {
+					return nil, fmt.Errorf("dim: query forward: %w", err)
+				}
+				// One retry after a backoff, then give the zone up.
+				comp.Retries++
+				if _, err := s.unicast(cur, z.Owner, network.KindQuery, qBytes); err != nil {
+					if !degradable(err) {
+						return nil, fmt.Errorf("dim: query forward: %w", err)
+					}
+					comp.Unreached = append(comp.Unreached, fmt.Sprintf("zone %v", z.Code))
+					continue
+				}
 			}
 			cur = z.Owner
 		}
-		owners = append(owners, z.Owner)
+		visits = append(visits, zoneVisit{zone: z, ok: true})
 	}
-	return owners, nil
+	return visits, nil
 }
 
 // disseminateSplit walks the zone tree: the packet routes from its
 // carrier toward the nearest relevant child region; on entering a region
 // whose sibling is also relevant, the entry node forks a subquery for the
-// sibling. Returns the visited owners.
-func (s *System) disseminateSplit(sink int, rq event.Query, qBytes int) ([]int, error) {
+// sibling. Returns the visited zones; unreachable leaves are recorded in
+// comp and skipped (their sibling subqueries depart from the carrier).
+func (s *System) disseminateSplit(sink int, rq event.Query, qBytes int, comp *dcs.Completeness) ([]zoneVisit, error) {
 	region := make([]geo.Interval, s.dims)
 	for j := range region {
 		region[j] = geo.Iv(0, 1)
 	}
-	var owners []int
-	_, err := s.splitWalk(sink, s.root, 0, region, rq, qBytes, &owners)
+	var visits []zoneVisit
+	_, err := s.splitWalk(sink, s.root, 0, region, rq, qBytes, &visits, comp)
 	if err != nil {
 		return nil, err
 	}
-	return owners, nil
+	return visits, nil
 }
 
 // splitWalk recursively disseminates the query under t, returning the
 // entry node (the first owner reached in this subtree), or -1 when no
-// zone under t is relevant.
-func (s *System) splitWalk(carrier int, t *treeNode, depth int, region []geo.Interval, rq event.Query, qBytes int, owners *[]int) (int, error) {
+// zone under t is relevant or its owner stayed unreachable.
+func (s *System) splitWalk(carrier int, t *treeNode, depth int, region []geo.Interval, rq event.Query, qBytes int, visits *[]zoneVisit, comp *dcs.Completeness) (int, error) {
 	if t.zone >= 0 {
 		z := s.zones[t.zone]
+		comp.CellsTotal++
 		if z.Owner != carrier {
-			if _, err := dcs.Unicast(s.net, s.router, carrier, z.Owner, network.KindQuery, qBytes); err != nil {
-				return -1, fmt.Errorf("dim: split forward: %w", err)
+			if _, err := s.unicast(carrier, z.Owner, network.KindQuery, qBytes); err != nil {
+				if !degradable(err) {
+					return -1, fmt.Errorf("dim: split forward: %w", err)
+				}
+				// One retry, then give the zone up; the sibling subquery
+				// departs from the carrier instead.
+				comp.Retries++
+				if _, err := s.unicast(carrier, z.Owner, network.KindQuery, qBytes); err != nil {
+					if !degradable(err) {
+						return -1, fmt.Errorf("dim: split forward: %w", err)
+					}
+					comp.Unreached = append(comp.Unreached, fmt.Sprintf("zone %v", z.Code))
+					return -1, nil
+				}
 			}
 		}
-		*owners = append(*owners, z.Owner)
+		*visits = append(*visits, zoneVisit{zone: z, ok: true})
 		return z.Owner, nil
 	}
 
@@ -401,7 +502,7 @@ func (s *System) splitWalk(carrier int, t *treeNode, depth int, region []geo.Int
 	for _, c := range children {
 		saved := region[j]
 		region[j] = c.iv
-		e, err := s.splitWalk(cur, c.node, depth+1, region, rq, qBytes, owners)
+		e, err := s.splitWalk(cur, c.node, depth+1, region, rq, qBytes, visits, comp)
 		region[j] = saved
 		if err != nil {
 			return -1, err

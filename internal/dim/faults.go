@@ -1,0 +1,80 @@
+package dim
+
+import (
+	"fmt"
+	"math"
+
+	"pooldcs/internal/geo"
+	"pooldcs/internal/trace"
+)
+
+// DIM stores each event in exactly one zone with no replica, so a node
+// failure loses the events it held — the paper's zone structure has no
+// mirroring to recover from. What survives is the index: every zone the
+// failed node owned (its own zone plus backup ownership of empty zones)
+// is re-homed to the closest surviving node, so later inserts and
+// queries route around the corpse instead of erroring.
+
+// Failed reports whether a node has been marked failed.
+func (s *System) Failed(id int) bool { return s.dead[id] }
+
+// FailNode marks a node as failed: its stored events are lost (DIM keeps
+// a single copy per zone) and every zone it owned is re-homed to the
+// closest surviving node. Failing an already-failed node is a no-op.
+func (s *System) FailNode(id int) error {
+	if id < 0 || id >= len(s.dead) {
+		return fmt.Errorf("dim: node %d out of range", id)
+	}
+	if s.dead[id] {
+		return nil
+	}
+	s.dead[id] = true
+	if s.tracer.Enabled() {
+		s.tracer.Begin(trace.OpFail, id, "")
+		defer s.tracer.End()
+		s.tracer.Record(trace.TypeFault, id, len(s.storage[id]), "")
+	}
+	// The node's events die with it.
+	s.storage[id] = nil
+
+	// Re-home the zones it owned. ZoneOf reads s.zones through the tree,
+	// so updating Owner redirects future inserts too.
+	for i := range s.zones {
+		if s.zones[i].Owner != id {
+			continue
+		}
+		next := s.nearestAlive(s.zones[i].Rect.Center())
+		if next < 0 {
+			return fmt.Errorf("dim: no surviving node for zone %v", s.zones[i].Code)
+		}
+		s.zones[i].Owner = next
+	}
+	return nil
+}
+
+// RecoverNode brings a previously failed node back: it can store and
+// answer again, but zones re-homed away from it are not reclaimed and
+// its pre-failure storage is gone — a rebooted mote comes back empty.
+// Recovering a node that never failed is a no-op.
+func (s *System) RecoverNode(id int) {
+	if id < 0 || id >= len(s.dead) || !s.dead[id] {
+		return
+	}
+	s.dead[id] = false
+}
+
+// nearestAlive returns the alive node closest to p, or -1 when every
+// node is dead.
+func (s *System) nearestAlive(p geo.Point) int {
+	layout := s.net.Layout()
+	best, bestD2 := -1, math.Inf(1)
+	for i := 0; i < layout.N(); i++ {
+		if s.dead[i] {
+			continue
+		}
+		if d2 := layout.Pos(i).Dist2(p); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pooldcs/internal/chaos"
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/dim"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+// churnHorizon is the virtual time one churn row simulates.
+const churnHorizon = 60 * time.Second
+
+// churnDetectDelay is how long a crash stays undetected: routing and the
+// radio die immediately, the storage protocols repair only after the
+// delay. Queries landing inside the window exercise graceful
+// degradation against undetected corpses.
+const churnDetectDelay = 2 * time.Second
+
+// churnUniverse is one system under churn: its own radio and router (so
+// per-system traffic stays separable) plus the per-query accumulators.
+type churnUniverse struct {
+	net    *network.Network
+	router *gpsr.Router
+	sys    interface {
+		QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
+	}
+	engine *chaos.Engine
+
+	sumRecall float64
+	sumComp   float64
+	msgs      uint64
+}
+
+// Churn measures how the three designs — Pool, Pool with cell mirroring,
+// and DIM — degrade under growing node churn. A deterministic fault plan
+// crashes a fraction of the deployment spread over the horizon (a
+// quarter of the victims later reboot, empty); queries fire at random
+// times in between, so some land inside the detection window and must
+// degrade gracefully. Reported per churn rate: mean recall against the
+// ground-truth oracle (every event ever stored), mean completeness
+// (cells served / cells addressed), and query+reply messages per query.
+func Churn(cfg Config, churnPcts []int) (*Result, error) {
+	title := fmt.Sprintf("Query degradation under churn, N=%d (recall vs oracle / completeness / msgs per query)", cfg.PartialSize)
+	table := texttable.New(title, "Churn%",
+		"Pool recall", "Pool compl", "Pool msgs",
+		"Repl recall", "Repl compl", "Repl msgs",
+		"DIM recall", "DIM compl", "DIM msgs")
+
+	for _, pct := range churnPcts {
+		n := cfg.PartialSize
+		src := rng.New(cfg.Seed + 9900 + int64(pct))
+		layout, err := field.Generate(field.DefaultSpec(n), src.Fork("layout"))
+		if err != nil {
+			return nil, err
+		}
+		sched := sim.NewScheduler()
+
+		build := func(mk func(net *network.Network, router *gpsr.Router) (chaos.System, error)) (*churnUniverse, error) {
+			net := network.New(layout)
+			router := gpsr.New(layout)
+			sys, err := mk(net, router)
+			if err != nil {
+				return nil, err
+			}
+			u := &churnUniverse{net: net, router: router}
+			u.sys = sys.(interface {
+				QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
+			})
+			u.engine = chaos.NewEngine(sched, net, router, []chaos.System{sys},
+				chaos.WithDetectionDelay(churnDetectDelay))
+			return u, nil
+		}
+		plain, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+			return pool.New(net, router, cfg.Dims, src.Fork("pivots-plain"))
+		})
+		if err != nil {
+			return nil, err
+		}
+		repl, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+			return pool.New(net, router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication())
+		})
+		if err != nil {
+			return nil, err
+		}
+		dimU, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+			return dim.New(net, router, cfg.Dims)
+		})
+		if err != nil {
+			return nil, err
+		}
+		universes := []*churnUniverse{plain, repl, dimU}
+
+		// Load every universe identically, then forget the insert traffic.
+		placed := GenerateEvents(layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		all := make([]event.Event, len(placed))
+		for i, pe := range placed {
+			all[i] = pe.Event
+			if err := plain.sys.(*pool.System).Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+			if err := repl.sys.(*pool.System).Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+			if err := dimU.sys.(*dim.System).Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+		}
+
+		// The same fault plan hits every universe.
+		plan := chaos.RandomChurn(src.Fork("churn"), n, float64(pct)/100, 0.25, churnHorizon)
+		for _, u := range universes {
+			if err := u.engine.Schedule(plan); err != nil {
+				return nil, err
+			}
+		}
+
+		// Queries fire at random times across the horizon, interleaved
+		// with the faults.
+		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
+		qsrc := src.Fork("query-times")
+		var queryErr error
+		for qi := 0; qi < cfg.Queries; qi++ {
+			at := time.Duration(qsrc.Float64() * float64(churnHorizon))
+			sink := qsrc.Intn(n)
+			q := qgen.ExactMatch(workload.UniformSizes)
+			if err := sched.At(at, func() {
+				// The scheduled sink may have died by now: a real user
+				// would issue from a live gateway.
+				for plain.engine.Down(sink) {
+					sink = (sink + 1) % n
+				}
+				oracle := q.Rewrite().Filter(all)
+				for _, u := range universes {
+					before := u.net.Snapshot()
+					got, comp, err := u.sys.QueryWithReport(sink, q)
+					if err != nil && queryErr == nil {
+						queryErr = fmt.Errorf("churn %d%% query at %v: %w", pct, at, err)
+						return
+					}
+					d := u.net.Diff(before)
+					u.msgs += d.Messages[network.KindQuery] + d.Messages[network.KindReply]
+					u.sumRecall += recallOf(got, oracle)
+					u.sumComp += comp.Fraction()
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		sched.Run()
+		if queryErr != nil {
+			return nil, queryErr
+		}
+		for _, u := range universes {
+			for _, err := range u.engine.Errs() {
+				return nil, fmt.Errorf("churn %d%%: %w", pct, err)
+			}
+		}
+
+		nq := float64(cfg.Queries)
+		row := []string{texttable.Int(pct)}
+		for _, u := range universes {
+			row = append(row,
+				texttable.Float(u.sumRecall/nq, 3),
+				texttable.Float(u.sumComp/nq, 3),
+				texttable.Float(float64(u.msgs)/nq, 1))
+		}
+		table.AddRow(row...)
+	}
+	return &Result{ID: "ablation-churn", Title: title, Table: table}, nil
+}
+
+// recallOf returns |got ∩ oracle| / |oracle|, 1.0 when the oracle is
+// empty (nothing to miss).
+func recallOf(got, oracle []event.Event) float64 {
+	if len(oracle) == 0 {
+		return 1
+	}
+	want := make(map[uint64]bool, len(oracle))
+	for _, e := range oracle {
+		want[e.Seq] = true
+	}
+	hit := 0
+	for _, e := range got {
+		if want[e.Seq] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(oracle))
+}

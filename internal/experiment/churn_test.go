@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"pooldcs/internal/chaos"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+	"pooldcs/internal/workload"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := Quick()
+	pcts := []int{0, 10}
+	a, err := Churn(cfg, pcts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(cfg, pcts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different tables:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+func TestChurnDegradesGracefully(t *testing.T) {
+	cfg := Quick()
+	res, err := Churn(cfg, []int{0, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(res.Table.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d: %v", row, col, err)
+		}
+		return v
+	}
+	const (
+		poolRecall = 1
+		poolCompl  = 2
+		replRecall = 4
+		replCompl  = 5
+		dimRecall  = 7
+	)
+	for row := range res.Table.Rows {
+		pct := int(cell(row, 0))
+		for _, col := range []int{poolRecall, poolCompl, replRecall, replCompl, dimRecall} {
+			if v := cell(row, col); v < 0 || v > 1 {
+				t.Errorf("pct %d col %d: %v outside [0,1]", pct, col, v)
+			}
+		}
+		if pct == 0 {
+			for _, col := range []int{poolRecall, poolCompl, replRecall, replCompl, dimRecall} {
+				if v := cell(row, col); v != 1 {
+					t.Errorf("no churn, col %d: %v, want exactly 1", col, v)
+				}
+			}
+		}
+		// The acceptance bar: mirroring holds recall ≥ 0.99 through 10%
+		// churn.
+		if pct <= 10 {
+			if v := cell(row, replRecall); v < 0.99 {
+				t.Errorf("replicated recall %v at %d%% churn, want ≥ 0.99", v, pct)
+			}
+		}
+	}
+	// Churn must actually hurt the designs without replication: DIM loses
+	// its single copies.
+	last := len(res.Table.Rows) - 1
+	if v := cell(last, dimRecall); v >= 1 {
+		t.Errorf("DIM recall %v at heaviest churn, expected degradation", v)
+	}
+}
+
+// TestChurnCompletenessOracle checks the per-query Completeness report
+// against ground truth computed from global knowledge: with a set of
+// undetected dead nodes (none of them splitters for the chosen sink),
+// the unreached cells of a plain Pool are exactly the relevant cells
+// whose index node is dead.
+func TestChurnCompletenessOracle(t *testing.T) {
+	const n = 300
+	layout, err := field.Generate(field.DefaultSpec(n), rng.New(9955))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	net := network.New(layout)
+	router := gpsr.New(layout)
+	s, err := pool.New(net, router, 3, rng.New(9956))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No detection delay scheduling here: the engine only tears down the
+	// radio/routing layers because the pool is not registered, modelling
+	// the undetected window directly.
+	engine := chaos.NewEngine(sched, net, router, nil)
+
+	src := rng.New(9957)
+	gen := workload.NewUniformEvents(src.Fork("events"), 3)
+	for _, pe := range GenerateEvents(layout, 3, gen) {
+		if err := s.Insert(pe.Origin, pe.Event); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sink := 0
+	full := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+	// Splitters must survive so the oracle stays a pure per-cell
+	// predicate (a dead splitter reroutes the whole pool's fan-out).
+	protected := map[int]bool{sink: true}
+	for _, p := range s.Pools() {
+		protected[s.SplitterFor(p, sink)] = true
+	}
+	down := map[int]bool{}
+	for len(down) < 6 {
+		v := src.Intn(n)
+		if protected[v] || down[v] {
+			continue
+		}
+		down[v] = true
+		engine.CrashNode(v)
+	}
+
+	got, comp, err := s.QueryWithReport(sink, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleUnreached := 0
+	for _, cells := range s.RelevantCells(full.Rewrite()) {
+		for _, c := range cells {
+			if down[s.IndexNode(c)] {
+				oracleUnreached++
+			}
+		}
+	}
+	if unreached := comp.CellsTotal - comp.CellsReached; unreached != oracleUnreached {
+		t.Errorf("report says %d unreached cells, oracle says %d", unreached, oracleUnreached)
+	}
+	if len(comp.Unreached) != oracleUnreached {
+		t.Errorf("unreached list has %d entries, oracle says %d", len(comp.Unreached), oracleUnreached)
+	}
+	if oracleUnreached == 0 {
+		t.Fatal("oracle found no unreached cells; pick different victims")
+	}
+	if comp.Complete() {
+		t.Error("report claims completeness with dead index nodes")
+	}
+	for _, e := range got {
+		if !full.Rewrite().Matches(e) {
+			t.Errorf("returned event %v does not match the query", e)
+		}
+	}
+}

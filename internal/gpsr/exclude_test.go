@@ -1,0 +1,159 @@
+package gpsr
+
+import (
+	"errors"
+	"testing"
+
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+)
+
+// aliveComponent returns the set of nodes reachable from src over radio
+// links between non-excluded nodes.
+func aliveComponent(l *field.Layout, r *Router, src int) map[int]bool {
+	seen := map[int]bool{src: true}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range l.Neighbors(u) {
+			if r.Excluded(v) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return seen
+}
+
+func TestExcludeDetoursAroundDeadNodes(t *testing.T) {
+	l := genLayout(t, 300, 7)
+	r := New(l)
+
+	// Pick a long route and kill every intermediate hop on it; the
+	// rerouted path must avoid them all and still deliver.
+	src, dst := 0, -1
+	var killed []int
+	for cand := 1; cand < l.N(); cand++ {
+		res, err := r.RouteToNode(src, cand)
+		if err != nil {
+			continue
+		}
+		if res.Hops() >= 4 {
+			dst = cand
+			killed = res.Path[1 : len(res.Path)-1]
+			break
+		}
+	}
+	if dst < 0 {
+		t.Fatal("no multi-hop route found")
+	}
+	for _, id := range killed {
+		r.Exclude(id)
+	}
+	if !aliveComponent(l, r, src)[dst] {
+		t.Skip("exclusions partitioned src from dst; detour impossible")
+	}
+	res, err := r.RouteToNode(src, dst)
+	if err != nil {
+		t.Fatalf("RouteToNode after exclusions: %v", err)
+	}
+	for _, hop := range res.Path {
+		if r.Excluded(hop) {
+			t.Fatalf("route %v passes through excluded node %d", res.Path, hop)
+		}
+	}
+	if res.Home != dst {
+		t.Fatalf("delivered at %d, want %d", res.Home, dst)
+	}
+}
+
+func TestExcludedDestinationUnreachable(t *testing.T) {
+	l := genLayout(t, 100, 3)
+	r := New(l)
+	r.Exclude(42)
+	if _, err := r.RouteToNode(0, 42); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("route to excluded node: err = %v, want ErrUnreachable", err)
+	}
+	if _, err := r.RouteToNode(42, 0); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("route from excluded node: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestPartitionReportsUnreachable(t *testing.T) {
+	l := genLayout(t, 300, 11)
+	r := New(l)
+
+	// Isolate a destination by excluding its entire radio neighbourhood.
+	dst := 150
+	for _, v := range l.Neighbors(dst) {
+		r.Exclude(v)
+	}
+	src := 0
+	if r.Excluded(src) || src == dst {
+		t.Fatal("bad test fixture: source excluded")
+	}
+	_, err := r.RouteToNode(src, dst)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("route into partition: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestRestoreRejoinsRouting(t *testing.T) {
+	l := genLayout(t, 300, 11)
+	r := New(l)
+	dst := 150
+	for _, v := range l.Neighbors(dst) {
+		r.Exclude(v)
+	}
+	for _, v := range l.Neighbors(dst) {
+		r.Restore(v)
+	}
+	res, err := r.RouteToNode(0, dst)
+	if err != nil {
+		t.Fatalf("RouteToNode after restore: %v", err)
+	}
+	if res.Home != dst {
+		t.Fatalf("delivered at %d, want %d", res.Home, dst)
+	}
+	// With an empty exclusion set the planarization must match a fresh
+	// router's exactly.
+	fresh := New(l)
+	for u := 0; u < l.N(); u++ {
+		a, b := r.PlanarNeighbors(u), fresh.PlanarNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: planar degree %d after restore, want %d", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: planar neighbours diverge after restore", u)
+			}
+		}
+	}
+}
+
+func TestGeographicRoutingAvoidsExcluded(t *testing.T) {
+	l := genLayout(t, 300, 5)
+	r := New(l)
+	target := geo.Pt(100, 100)
+	res, err := r.Route(0, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the original home node: the hash location must re-home to an
+	// alive node and the route must avoid every excluded hop.
+	r.Exclude(res.Home)
+	res2, err := r.Route(0, target)
+	if err != nil {
+		t.Fatalf("Route after excluding home: %v", err)
+	}
+	if res2.Home == res.Home {
+		t.Fatalf("home node %d still used after exclusion", res.Home)
+	}
+	for _, hop := range res2.Path {
+		if r.Excluded(hop) {
+			t.Fatalf("route %v passes through excluded node %d", res2.Path, hop)
+		}
+	}
+}

@@ -23,38 +23,89 @@ import (
 )
 
 // Router precomputes the planar subgraph of a deployment and routes packets
-// over it.
+// over it. Nodes can be excluded (crashed, depleted) with Exclude; routes
+// then detour around them over the planarized alive subgraph. A Router
+// with a changing exclusion set is not safe for concurrent use.
 type Router struct {
 	layout *field.Layout
 	planar [][]int
+
+	// excluded marks nodes routes must avoid; the planarization is
+	// recomputed lazily over the alive subgraph when it changes.
+	excluded  []bool
+	nExcluded int
+	dirty     bool
 }
 
 // New builds a Router for layout, planarizing the unit-disc graph into its
 // Gabriel graph. For a connected unit-disc graph the Gabriel subgraph is
 // connected, which perimeter mode requires.
 func New(layout *field.Layout) *Router {
-	r := &Router{layout: layout}
+	r := &Router{layout: layout, excluded: make([]bool, layout.N())}
 	r.planarize()
 	return r
 }
 
-// planarize computes the Gabriel graph: the edge (u,v) survives iff no
-// witness node lies strictly inside the disc with diameter uv. Any such
-// witness is necessarily a radio neighbour of both endpoints (its distance
-// to each is at most |uv| ≤ radio range), so scanning u's neighbour list
-// suffices — exactly the local rule real GPSR nodes apply.
+// Exclude removes a node from the routing fabric: greedy forwarding skips
+// it and the planar subgraph is rebuilt (lazily) without it, so perimeter
+// tours detour around the hole it leaves. Out-of-range ids are ignored.
+func (r *Router) Exclude(id int) {
+	if id >= 0 && id < len(r.excluded) && !r.excluded[id] {
+		r.excluded[id] = true
+		r.nExcluded++
+		r.dirty = true
+	}
+}
+
+// Restore returns an excluded node to the routing fabric.
+func (r *Router) Restore(id int) {
+	if id >= 0 && id < len(r.excluded) && r.excluded[id] {
+		r.excluded[id] = false
+		r.nExcluded--
+		r.dirty = true
+	}
+}
+
+// Excluded reports whether a node is currently excluded from routing.
+func (r *Router) Excluded(id int) bool { return r.excluded[id] }
+
+// ErrUnreachable is returned when a route cannot be completed: the
+// destination is excluded, or the perimeter tour proves that no alive
+// path reaches it (the alive subgraph is partitioned).
+var ErrUnreachable = errors.New("gpsr: destination unreachable")
+
+// ensurePlanar rebuilds the planarization if the exclusion set changed.
+func (r *Router) ensurePlanar() {
+	if r.dirty {
+		r.planarize()
+		r.dirty = false
+	}
+}
+
+// planarize computes the Gabriel graph of the alive subgraph: the edge
+// (u,v) survives iff no alive witness node lies strictly inside the disc
+// with diameter uv. Any such witness is necessarily a radio neighbour of
+// both endpoints (its distance to each is at most |uv| ≤ radio range), so
+// scanning u's neighbour list suffices — exactly the local rule real GPSR
+// nodes apply, with dead neighbours evicted by the beacon protocol.
 func (r *Router) planarize() {
 	l := r.layout
 	r.planar = make([][]int, l.N())
 	for u := 0; u < l.N(); u++ {
+		if r.excluded[u] {
+			continue
+		}
 		pu := l.Pos(u)
 		for _, v := range l.Neighbors(u) {
+			if r.excluded[v] {
+				continue
+			}
 			pv := l.Pos(v)
 			mid := pu.Mid(pv)
 			rad2 := pu.Dist2(pv) / 4
 			keep := true
 			for _, w := range l.Neighbors(u) {
-				if w == v {
+				if w == v || r.excluded[w] {
 					continue
 				}
 				if l.Pos(w).Dist2(mid) < rad2 {
@@ -72,9 +123,13 @@ func (r *Router) planarize() {
 // Layout returns the deployment the router serves.
 func (r *Router) Layout() *field.Layout { return r.layout }
 
-// PlanarNeighbors returns the Gabriel-graph neighbours of id (a subset of
-// its radio neighbours). The slice is owned by the router.
-func (r *Router) PlanarNeighbors(id int) []int { return r.planar[id] }
+// PlanarNeighbors returns the Gabriel-graph neighbours of id among the
+// non-excluded nodes (a subset of its radio neighbours). The slice is
+// owned by the router.
+func (r *Router) PlanarNeighbors(id int) []int {
+	r.ensurePlanar()
+	return r.planar[id]
+}
 
 // Result describes a completed route.
 type Result struct {
@@ -131,6 +186,10 @@ func (r *Router) Route(src int, target geo.Point) (Result, error) {
 // of probing the perimeter around its location.
 func (r *Router) route(src int, target geo.Point, consumeAt int) (Result, error) {
 	l := r.layout
+	r.ensurePlanar()
+	if r.excluded[src] {
+		return Result{Path: []int{src}}, fmt.Errorf("gpsr: source %d is down: %w", src, ErrUnreachable)
+	}
 	pkt := packet{target: target, mode: modeGreedy, prev: -1}
 	cur := src
 	res := Result{Path: []int{src}}
@@ -184,6 +243,9 @@ func (r *Router) step(cur int, pkt *packet) (next int, deliver bool) {
 	if pkt.mode == modeGreedy {
 		best, bestD2 := -1, d2
 		for _, v := range l.Neighbors(cur) {
+			if r.excluded[v] {
+				continue
+			}
 			if vd2 := l.Pos(v).Dist2(pkt.target); vd2 < bestD2 {
 				best, bestD2 = v, vd2
 			}
@@ -281,14 +343,20 @@ func normAngle(a float64) float64 {
 // RouteToNode routes from src to node dst, addressing dst's own location.
 // The packet is consumed on arrival at dst without a perimeter probe.
 func (r *Router) RouteToNode(src, dst int) (Result, error) {
+	r.ensurePlanar()
+	if dst >= 0 && dst < len(r.excluded) && r.excluded[dst] {
+		return Result{Path: []int{src}}, fmt.Errorf("gpsr: node %d is down: %w", dst, ErrUnreachable)
+	}
 	res, err := r.route(src, r.layout.Pos(dst), dst)
 	if err != nil {
 		return res, err
 	}
 	if res.Home != dst {
-		// Another node co-located with (or closer to) dst's position
-		// absorbed the packet; only possible with duplicate coordinates.
-		return res, fmt.Errorf("gpsr: route to node %d delivered at %d", dst, res.Home)
+		// The perimeter tour completed without reaching dst: either a node
+		// co-located with dst's position absorbed the packet (duplicate
+		// coordinates), or exclusions partitioned the alive subgraph and
+		// the tour enclosed the target on the wrong side of the cut.
+		return res, fmt.Errorf("gpsr: route to node %d delivered at %d: %w", dst, res.Home, ErrUnreachable)
 	}
 	return res, nil
 }

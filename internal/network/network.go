@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/trace"
@@ -62,6 +63,11 @@ type EnergyModel struct {
 	Elec float64
 	// Amp is the amplifier energy per bit per m² in joules (default 100 pJ).
 	Amp float64
+	// Budget, when positive, is each node's battery in joules. A node
+	// whose radio energy crosses the budget is depleted: it stops
+	// transmitting and receiving, and the depletion watcher (if any) is
+	// notified once. Zero means unlimited energy (the paper's model).
+	Budget float64
 }
 
 // DefaultEnergyModel returns the standard first-order parameters.
@@ -78,6 +84,9 @@ func (m EnergyModel) Validate() error {
 	}
 	if m.Amp < 0 || math.IsNaN(m.Amp) {
 		return fmt.Errorf("network: amplifier energy must be ≥ 0 J/bit/m², got %v", m.Amp)
+	}
+	if m.Budget < 0 || math.IsNaN(m.Budget) {
+		return fmt.Errorf("network: energy budget must be ≥ 0 J, got %v", m.Budget)
 	}
 	return nil
 }
@@ -133,6 +142,17 @@ type Network struct {
 	lossRate float64
 	lossSrc  *rng.Source
 
+	// bursts are transient regional loss episodes (chaos injection): a
+	// frame whose sender or receiver sits inside an active burst region is
+	// dropped independently with the burst's rate.
+	bursts []*regionLoss
+
+	// dead marks crashed nodes: they neither transmit nor receive.
+	dead []bool
+	// depleted marks nodes whose radio energy crossed the battery budget.
+	depleted  []bool
+	onDeplete func(id int)
+
 	sched      *sim.Scheduler
 	hopLatency time.Duration
 
@@ -141,9 +161,22 @@ type Network struct {
 	tracer *trace.Tracer
 }
 
+// regionLoss is one active loss burst.
+type regionLoss struct {
+	rect geo.Rect
+	rate float64
+	src  *rng.Source
+}
+
 // ErrFrameLost reports a transmission dropped by the lossy-link model.
 // The frame was sent (and charged); it was not received.
 var ErrFrameLost = errors.New("network: frame lost")
+
+// ErrNodeDown reports a transmission involving a crashed or
+// battery-depleted node. Unlike ErrFrameLost, retransmitting cannot help:
+// the sender's link layer declares the neighbour dead after its ACK
+// timeout, so callers should treat the hop as unreachable, not lossy.
+var ErrNodeDown = errors.New("network: node down")
 
 // Option configures a Network.
 type Option interface {
@@ -208,6 +241,8 @@ func New(layout *field.Layout, opts ...Option) *Network {
 		nodeTx:     make([]uint64, layout.N()),
 		nodeRx:     make([]uint64, layout.N()),
 		nodeEnergy: make([]float64, layout.N()),
+		dead:       make([]bool, layout.N()),
+		depleted:   make([]bool, layout.N()),
 	}
 	for _, o := range opts {
 		o.apply(n)
@@ -236,12 +271,106 @@ func (n *Network) InRange(from, to int) bool {
 	return n.layout.Pos(from).Dist2(n.layout.Pos(to)) <= r*r
 }
 
+// FailNode crashes a node: it stops transmitting and receiving until
+// RecoverNode. Out-of-range ids are ignored.
+func (n *Network) FailNode(id int) {
+	if id >= 0 && id < len(n.dead) {
+		n.dead[id] = true
+	}
+}
+
+// RecoverNode brings a crashed node back on the air. Depletion is not
+// undone: a node with an empty battery stays silent.
+func (n *Network) RecoverNode(id int) {
+	if id >= 0 && id < len(n.dead) {
+		n.dead[id] = false
+	}
+}
+
+// Alive reports whether the node is on the air: neither crashed nor
+// battery-depleted.
+func (n *Network) Alive(id int) bool {
+	return !n.dead[id] && !n.depleted[id]
+}
+
+// Depleted reports whether the node's radio energy has crossed the
+// battery budget.
+func (n *Network) Depleted(id int) bool { return n.depleted[id] }
+
+// OnDepleted registers fn to be called once per node, at the moment its
+// radio energy crosses the battery budget. The callback fires inside
+// Transmit/Broadcast; implementations that mutate protocol state should
+// defer the heavy work to a scheduler event.
+func (n *Network) OnDepleted(fn func(id int)) { n.onDeplete = fn }
+
+// AddRegionLoss opens a transient regional loss burst: every frame whose
+// sender or receiver lies inside rect is dropped independently with the
+// given probability (drawn deterministically from src), on top of the
+// base loss rate. The returned cancel function ends the burst.
+func (n *Network) AddRegionLoss(rect geo.Rect, rate float64, src *rng.Source) (cancel func()) {
+	b := &regionLoss{rect: rect, rate: rate, src: src}
+	n.bursts = append(n.bursts, b)
+	return func() {
+		for i, cur := range n.bursts {
+			if cur == b {
+				n.bursts = append(n.bursts[:i], n.bursts[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// dropFrame draws whether the frame from→to is lost to the base loss
+// model or any active regional burst.
+func (n *Network) dropFrame(from, to int) bool {
+	if n.lossRate > 0 && n.lossSrc.Bool(n.lossRate) {
+		return true
+	}
+	for _, b := range n.bursts {
+		if b.rect.ContainsClosed(n.layout.Pos(from)) || b.rect.ContainsClosed(n.layout.Pos(to)) {
+			if b.src.Bool(b.rate) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chargeTx charges a transmission to the sender and checks its battery.
+func (n *Network) chargeTx(from int, joules float64) {
+	n.energyJ += joules
+	n.nodeEnergy[from] += joules
+	n.checkBudget(from)
+}
+
+// chargeRx charges a reception to the receiver and checks its battery.
+func (n *Network) chargeRx(to int, joules float64) {
+	n.energyJ += joules
+	n.nodeEnergy[to] += joules
+	n.checkBudget(to)
+}
+
+// checkBudget marks a node depleted (and notifies the watcher once) when
+// its radio energy crosses the battery budget.
+func (n *Network) checkBudget(id int) {
+	if n.energy.Budget <= 0 || n.depleted[id] || n.nodeEnergy[id] < n.energy.Budget {
+		return
+	}
+	n.depleted[id] = true
+	if n.onDeplete != nil {
+		n.onDeplete(id)
+	}
+}
+
 // Transmit records a single-hop transmission of a payload of the given
 // size from one node to a radio neighbour. It is the only place where
 // traffic counters are incremented.
 func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 	if from == to {
 		return fmt.Errorf("network: self-transmission at node %d", from)
+	}
+	if !n.Alive(from) {
+		return fmt.Errorf("network: sender %d: %w", from, ErrNodeDown)
 	}
 	if !n.InRange(from, to) {
 		return &LinkError{From: from, To: to, Dist: n.layout.Pos(from).Dist(n.layout.Pos(to))}
@@ -256,10 +385,16 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 
 	bits := float64(payloadBytes * 8)
 	d2 := n.layout.Pos(from).Dist2(n.layout.Pos(to))
-	tx := n.energy.Elec*bits + n.energy.Amp*bits*d2
-	n.energyJ += tx
-	n.nodeEnergy[from] += tx
-	if n.lossRate > 0 && n.lossSrc.Bool(n.lossRate) {
+	n.chargeTx(from, n.energy.Elec*bits+n.energy.Amp*bits*d2)
+	if !n.Alive(to) {
+		// The sender paid for a frame nobody will ever acknowledge; its
+		// link layer declares the neighbour dead after the ACK timeout.
+		if n.tracer != nil {
+			n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), true)
+		}
+		return fmt.Errorf("network: receiver %d: %w", to, ErrNodeDown)
+	}
+	if n.dropFrame(from, to) {
 		// The frame left the sender's radio but never arrived: the sender
 		// paid, the receiver heard nothing.
 		if n.tracer != nil {
@@ -268,9 +403,7 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 		return ErrFrameLost
 	}
 	n.nodeRx[to] += frames
-	rx := n.energy.Elec * bits
-	n.energyJ += rx
-	n.nodeEnergy[to] += rx
+	n.chargeRx(to, n.energy.Elec*bits)
 	if n.tracer != nil {
 		n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), false)
 	}
@@ -279,9 +412,15 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 
 // Broadcast transmits one frame from a node to every radio neighbour at
 // once (the wireless broadcast advantage): a single transmission, one
-// reception per neighbour. It returns the neighbours reached. Used by
-// beaconing protocols.
+// reception per neighbour. Each reception is subject to the same lossy
+// model as unicast — independent per-receiver drops — so broadcast-based
+// beaconing pays the same reality tax; crashed or depleted neighbours
+// hear nothing. It returns the neighbours actually reached. A broadcast
+// from a dead node is silent and free. Used by beaconing protocols.
 func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
+	if !n.Alive(from) {
+		return nil
+	}
 	nbrs := n.layout.Neighbors(from)
 	frames := uint64(1)
 	if n.mtu > 0 && payloadBytes > n.mtu {
@@ -294,19 +433,26 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 	bits := float64(payloadBytes * 8)
 	r := n.layout.Spec.RadioRange
 	// A broadcast is amplified to full radio range.
-	tx := n.energy.Elec*bits + n.energy.Amp*bits*r*r
-	n.energyJ += tx
-	n.nodeEnergy[from] += tx
+	n.chargeTx(from, n.energy.Elec*bits+n.energy.Amp*bits*r*r)
 	rx := n.energy.Elec * bits
+	reached := make([]int, 0, len(nbrs))
+	lost := 0
 	for _, v := range nbrs {
+		if !n.Alive(v) {
+			continue
+		}
+		if n.dropFrame(from, v) {
+			lost++
+			continue
+		}
 		n.nodeRx[v] += frames
-		n.energyJ += rx
-		n.nodeEnergy[v] += rx
+		n.chargeRx(v, rx)
+		reached = append(reached, v)
 	}
 	if n.tracer != nil {
-		n.tracer.Broadcast(from, kind.String(), payloadBytes, int(frames), len(nbrs))
+		n.tracer.Broadcast(from, kind.String(), payloadBytes, int(frames), len(reached), lost)
 	}
-	return nbrs
+	return reached
 }
 
 // NodeEnergy returns the radio energy node id has spent, in joules.

@@ -127,21 +127,18 @@ func (s *System) Aggregate(sink int, q event.Query, op AggOp, dim int) (float64,
 			continue
 		}
 		splitter := s.SplitterFor(p, sink)
-		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
+		if _, err := s.unicast(sink, splitter, network.KindQuery, qBytes); err != nil {
 			return 0, fmt.Errorf("pool: aggregate to splitter: %w", err)
 		}
 		poolPartial := newPartial()
 		for _, c := range cells {
 			index := s.holder[c]
 			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
+				if _, err := s.unicast(splitter, index, network.KindQuery, qBytes); err != nil {
 					return 0, fmt.Errorf("pool: aggregate to cell %v: %w", c, err)
 				}
 			}
-			matches, err := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
-			if err != nil {
-				return 0, err
-			}
+			matches := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
 			if len(matches) == 0 {
 				continue
 			}
@@ -155,7 +152,7 @@ func (s *System) Aggregate(sink int, q event.Query, op AggOp, dim int) (float64,
 			}
 			poolPartial.merge(cellPartial)
 			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply, aggPartialBytes); err != nil {
+				if _, err := s.unicast(index, splitter, network.KindReply, aggPartialBytes); err != nil {
 					return 0, fmt.Errorf("pool: aggregate reply from cell %v: %w", c, err)
 				}
 			}
@@ -163,7 +160,7 @@ func (s *System) Aggregate(sink int, q event.Query, op AggOp, dim int) (float64,
 		if poolPartial.count > 0 {
 			// The splitter merges its Pool's partials and sends one
 			// constant-size partial to the sink.
-			if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply, aggPartialBytes); err != nil {
+			if _, err := s.unicast(splitter, sink, network.KindReply, aggPartialBytes); err != nil {
 				return 0, fmt.Errorf("pool: aggregate reply to sink: %w", err)
 			}
 			total.merge(poolPartial)

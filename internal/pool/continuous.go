@@ -54,13 +54,13 @@ func (s *System) Subscribe(sink int, q event.Query) (*Subscription, error) {
 		if s.tracer.Enabled() {
 			s.tracer.Record(trace.TypeFanout, splitter, len(cells), fmt.Sprintf("P%d", p.Dim))
 		}
-		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindControl, qBytes); err != nil {
+		if _, err := s.unicast(sink, splitter, network.KindControl, qBytes); err != nil {
 			return nil, fmt.Errorf("pool: subscribe to splitter: %w", err)
 		}
 		for _, c := range cells {
 			index := s.holder[c]
 			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindControl, qBytes); err != nil {
+				if _, err := s.unicast(splitter, index, network.KindControl, qBytes); err != nil {
 					return nil, fmt.Errorf("pool: subscribe to cell %v: %w", c, err)
 				}
 			}
@@ -97,7 +97,7 @@ func (s *System) Unsubscribe(sub *Subscription) error {
 			removedAny = true
 			// One control message from the sink's side of the tree; we
 			// charge sink→index directly (the tree edges coincide).
-			if _, err := dcs.Unicast(s.net, s.router, sub.Sink, s.holder[key.cell], network.KindControl, qBytes); err != nil {
+			if _, err := s.unicast(sub.Sink, s.holder[key.cell], network.KindControl, qBytes); err != nil {
 				return fmt.Errorf("pool: unsubscribe cell %v: %w", key.cell, err)
 			}
 			break
@@ -137,7 +137,7 @@ func (s *System) notifySubscribers(key storeKey, index int, e event.Event) error
 		if s.tracer.Enabled() {
 			s.tracer.Record(trace.TypeNotify, sub.Sink, 1, "")
 		}
-		if _, err := dcs.Unicast(s.net, s.router, index, sub.Sink, network.KindReply,
+		if _, err := s.unicast(index, sub.Sink, network.KindReply,
 			dcs.ReplyBytes(s.dims, 1)); err != nil {
 			return fmt.Errorf("pool: notify sink %d: %w", sub.Sink, err)
 		}

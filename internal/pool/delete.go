@@ -32,13 +32,13 @@ func (s *System) Delete(sink int, q event.Query) (int, error) {
 			continue
 		}
 		splitter := s.SplitterFor(p, sink)
-		if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
+		if _, err := s.unicast(sink, splitter, network.KindQuery, qBytes); err != nil {
 			return removed, fmt.Errorf("pool: delete to splitter: %w", err)
 		}
 		for _, c := range cells {
 			index := s.holder[c]
 			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
+				if _, err := s.unicast(splitter, index, network.KindQuery, qBytes); err != nil {
 					return removed, fmt.Errorf("pool: delete to cell %v: %w", c, err)
 				}
 			}
@@ -52,13 +52,13 @@ func (s *System) Delete(sink int, q event.Query) (int, error) {
 			}
 			removed += n
 			if index != splitter {
-				if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply,
+				if _, err := s.unicast(index, splitter, network.KindReply,
 					dcs.ReplyBytes(s.dims, 0)); err != nil {
 					return removed, fmt.Errorf("pool: delete ack from cell %v: %w", c, err)
 				}
 			}
 		}
-		if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply,
+		if _, err := s.unicast(splitter, sink, network.KindReply,
 			dcs.ReplyBytes(s.dims, 0)); err != nil {
 			return removed, fmt.Errorf("pool: delete ack to sink: %w", err)
 		}
@@ -87,10 +87,10 @@ func (s *System) deleteFromCell(key storeKey, index int, rq event.Query, qBytes 
 		}
 		if segs[i].node != index {
 			// Reach the delegate and hear its ack.
-			if _, err := dcs.Unicast(s.net, s.router, index, segs[i].node, network.KindQuery, qBytes); err != nil {
+			if _, err := s.unicast(index, segs[i].node, network.KindQuery, qBytes); err != nil {
 				return removed, fmt.Errorf("pool: delete to delegate: %w", err)
 			}
-			if _, err := dcs.Unicast(s.net, s.router, segs[i].node, index, network.KindReply,
+			if _, err := s.unicast(segs[i].node, index, network.KindReply,
 				dcs.ReplyBytes(s.dims, 0)); err != nil {
 				return removed, fmt.Errorf("pool: delete delegate ack: %w", err)
 			}
@@ -112,7 +112,7 @@ func (s *System) deleteFromCell(key storeKey, index int, rq event.Query, qBytes 
 			}
 			s.mirrorStore[key] = kept
 			if mirror != index && !s.dead[mirror] {
-				if _, err := dcs.Unicast(s.net, s.router, index, mirror, network.KindControl, qBytes); err != nil {
+				if _, err := s.unicast(index, mirror, network.KindControl, qBytes); err != nil {
 					return removed, fmt.Errorf("pool: delete mirror: %w", err)
 				}
 			}

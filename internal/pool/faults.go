@@ -82,17 +82,26 @@ func (s *System) FailNode(id int) error {
 					// cell's (possibly re-elected) index node.
 					target := s.holder[key.cell]
 					recovered := intersectBySeq(s.mirrorStore[key], lost)
-					segs[i] = segment{node: target, events: recovered}
-					s.stored[target] += len(recovered)
+					transferred := true
 					if target != mirror {
-						if _, err := dcs.Unicast(s.net, s.router, mirror, target,
+						if _, err := s.unicast(mirror, target,
 							network.KindControl, dcs.ReplyBytes(s.dims, len(recovered))); err != nil {
-							return fmt.Errorf("pool: recovery transfer: %w", err)
+							if !degradable(err) {
+								return fmt.Errorf("pool: recovery transfer: %w", err)
+							}
+							// The mirror is partitioned from the new index
+							// node: the segment cannot be restored now and
+							// its events are lost with the primary.
+							transferred = false
 						}
 					}
-					s.recoveryMsgs++
-					changed = true
-					continue
+					if transferred {
+						segs[i] = segment{node: target, events: recovered}
+						s.stored[target] += len(recovered)
+						s.recoveryMsgs++
+						changed = true
+						continue
+					}
 				}
 			}
 			// No replica: the segment's events are lost.
@@ -119,18 +128,71 @@ func (s *System) FailNode(id int) error {
 				for _, seg := range s.store[key] {
 					live = append(live, seg.events...)
 				}
-				s.mirrorStore[key] = append([]event.Event(nil), live...)
 				if len(live) > 0 && index != next {
-					if _, err := dcs.Unicast(s.net, s.router, index, next,
+					if _, err := s.unicast(index, next,
 						network.KindControl, dcs.ReplyBytes(s.dims, len(live))); err != nil {
-						return fmt.Errorf("pool: mirror re-home: %w", err)
+						if !degradable(err) {
+							return fmt.Errorf("pool: mirror re-home: %w", err)
+						}
+						// The copy never arrived: the cell has no mirror
+						// until the next failure re-elects one. Never
+						// claim phantom data.
+						s.mirrors[key] = -1
+						delete(s.mirrorStore, key)
+						continue
 					}
 					s.recoveryMsgs++
 				}
+				s.mirrorStore[key] = append([]event.Event(nil), live...)
 			}
+		}
+
+		// Re-election can land a cell's index role on its own mirror
+		// node, leaving one copy of the data: split the roles again by
+		// moving the mirror copy to the next-closest alive node.
+		for key, mirror := range s.mirrors {
+			if mirror < 0 || mirror != s.holder[key.cell] {
+				continue
+			}
+			next := s.nearestAliveTo(s.grid.Center(key.cell), mirror)
+			if next < 0 {
+				s.mirrors[key] = -1
+				delete(s.mirrorStore, key)
+				continue
+			}
+			var live []event.Event
+			for _, seg := range s.store[key] {
+				live = append(live, seg.events...)
+			}
+			if len(live) > 0 {
+				if _, err := s.unicast(mirror, next,
+					network.KindControl, dcs.ReplyBytes(s.dims, len(live))); err != nil {
+					if !degradable(err) {
+						return fmt.Errorf("pool: mirror split: %w", err)
+					}
+					s.mirrors[key] = -1
+					delete(s.mirrorStore, key)
+					continue
+				}
+				s.recoveryMsgs++
+			}
+			s.mirrors[key] = next
+			s.mirrorStore[key] = append([]event.Event(nil), live...)
 		}
 	}
 	return nil
+}
+
+// RecoverNode brings a previously failed node back: it resumes routing,
+// storing, and answering queries. Cells re-elected away from it are not
+// reclaimed (their state lives at the new index nodes), and any storage
+// the node held before failing is gone — a rebooted mote comes back
+// empty. Recovering a node that never failed is a no-op.
+func (s *System) RecoverNode(id int) {
+	if id < 0 || id >= len(s.dead) || !s.dead[id] {
+		return
+	}
+	s.dead[id] = false
 }
 
 // nearestAliveTo returns the alive node closest to p, excluding one id,

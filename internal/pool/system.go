@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,6 +29,7 @@ type config struct {
 	quota     int // per-node storage quota before delegation; 0 disables sharing
 	replicate bool
 	tracer    *trace.Tracer
+	arq       dcs.TxOptions
 }
 
 // Option configures New.
@@ -74,6 +76,13 @@ func WithTracer(t *trace.Tracer) Option {
 	return optionFunc(func(c *config) { c.tracer = t })
 }
 
+// WithARQBudget overrides the per-hop link-layer retransmission budget
+// for every routed unicast the system issues (default
+// dcs.DefaultMaxRetransmissions).
+func WithARQBudget(n int) Option {
+	return optionFunc(func(c *config) { c.arq = dcs.TxOptions{MaxRetransmissions: n} })
+}
+
 // storeKey addresses the storage of one cell of one Pool.
 type storeKey struct {
 	dim  int // 1-based Pool dimension
@@ -107,6 +116,9 @@ type System struct {
 	quota int
 	// delegations counts workload-sharing segment creations.
 	delegations int
+
+	// arq is the per-hop retransmission budget for routed unicasts.
+	arq dcs.TxOptions
 
 	// tracer records structured events; nil disables tracing.
 	tracer *trace.Tracer
@@ -160,6 +172,7 @@ func New(net *network.Network, router *gpsr.Router, dims int, src *rng.Source, o
 		quota:     cfg.quota,
 		tracer:    cfg.tracer,
 		replicate: cfg.replicate,
+		arq:       cfg.arq,
 		dead:      make([]bool, layout.N()),
 	}
 	if s.replicate {
@@ -225,6 +238,13 @@ func overlaps(a, b CellID, side int) bool {
 	return a.X < b.X+side && b.X < a.X+side && a.Y < b.Y+side && b.Y < a.Y+side
 }
 
+// unicast routes a payload between two nodes, applying the system's ARQ
+// retransmission budget. Every routed exchange in the package goes
+// through here.
+func (s *System) unicast(from, to int, kind network.Kind, payloadBytes int) (int, error) {
+	return dcs.UnicastOpts(s.net, s.router, from, to, kind, payloadBytes, s.arq)
+}
+
 // Name implements dcs.System.
 func (s *System) Name() string { return "Pool" }
 
@@ -281,7 +301,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 		defer s.tracer.End()
 		s.tracer.Record(trace.TypePlace, index, bestDim, fmt.Sprintf("P%d %v", bestDim, bestCell))
 	}
-	if _, err := dcs.Unicast(s.net, s.router, origin, index, network.KindInsert, payload); err != nil {
+	if _, err := s.unicast(origin, index, network.KindInsert, payload); err != nil {
 		return fmt.Errorf("pool: insert: %w", err)
 	}
 	return s.storeEvent(storeKey{dim: bestDim, cell: bestCell}, index, e, payload)
@@ -298,7 +318,7 @@ func (s *System) storeEvent(key storeKey, index int, e event.Event, payload int)
 	if s.quota > 0 && len(active.events) >= s.quota {
 		delegate := s.pickDelegate(index, active.node)
 		// Establishing the delegation is one control exchange.
-		if _, err := dcs.Unicast(s.net, s.router, index, delegate, network.KindControl, dcs.QueryBytes(s.dims)); err != nil {
+		if _, err := s.unicast(index, delegate, network.KindControl, dcs.QueryBytes(s.dims)); err != nil {
 			return fmt.Errorf("pool: delegate setup: %w", err)
 		}
 		segs = append(segs, segment{node: delegate})
@@ -306,7 +326,7 @@ func (s *System) storeEvent(key storeKey, index int, e event.Event, payload int)
 		s.delegations++
 	}
 	if active.node != index {
-		if _, err := dcs.Unicast(s.net, s.router, index, active.node, network.KindInsert, payload); err != nil {
+		if _, err := s.unicast(index, active.node, network.KindInsert, payload); err != nil {
 			return fmt.Errorf("pool: delegate forward: %w", err)
 		}
 	}
@@ -332,7 +352,7 @@ func (s *System) mirrorEvent(key storeKey, index int, e event.Event, payload int
 	if mirror < 0 || s.dead[mirror] {
 		return nil
 	}
-	if _, err := dcs.Unicast(s.net, s.router, index, mirror, network.KindInsert, payload); err != nil {
+	if _, err := s.unicast(index, mirror, network.KindInsert, payload); err != nil {
 		return fmt.Errorf("pool: mirror copy: %w", err)
 	}
 	s.mirrorStore[key] = append(s.mirrorStore[key], e)
@@ -391,13 +411,27 @@ func (s *System) SplitterFor(p Pool, sink int) int {
 
 // Query implements dcs.System: the query is resolved with Theorem 3.2 and
 // forwarded through one splitter per Pool to every relevant cell; replies
-// converge back through the splitters (§3.2.3).
+// converge back through the splitters (§3.2.3). Under node failures the
+// query degrades gracefully — unreachable cells are skipped after one
+// retry and the matching events that could be gathered are returned; use
+// QueryWithReport to learn how complete the answer is.
 func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	results, _, err := s.QueryWithReport(sink, q)
+	return results, err
+}
+
+// QueryWithReport is Query plus a Completeness report: how many relevant
+// cells the fan-out addressed, how many were actually served (query
+// delivered and reply returned), which were left unreached, and how many
+// retry unicasts were spent. An incomplete answer is not an error — the
+// error return covers only malformed queries and programming faults.
+func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error) {
+	var comp dcs.Completeness
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("pool: %w", err)
+		return nil, comp, fmt.Errorf("pool: %w", err)
 	}
 	if q.Dims() != s.dims {
-		return nil, fmt.Errorf("pool: query has %d dims, system built for %d", q.Dims(), s.dims)
+		return nil, comp, fmt.Errorf("pool: query has %d dims, system built for %d", q.Dims(), s.dims)
 	}
 	rq := q.Rewrite()
 	qBytes := dcs.QueryBytes(s.dims)
@@ -408,23 +442,43 @@ func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
 	}
 	var results []event.Event
 	for _, p := range s.pools {
-		poolResults, err := s.queryPool(p, sink, rq, qBytes)
+		poolResults, err := s.queryPool(p, sink, rq, qBytes, &comp)
 		if err != nil {
-			return nil, err
+			return nil, comp, err
 		}
 		results = append(results, poolResults...)
 	}
-	return results, nil
+	return results, comp, nil
+}
+
+// degradable reports whether a unicast failure is one graceful
+// degradation absorbs: a dead or partitioned destination, or a hop that
+// exhausted its ARQ budget. Anything else is a programming fault.
+func degradable(err error) bool {
+	return errors.Is(err, dcs.ErrUnreachable) || errors.Is(err, dcs.ErrHopExhausted)
 }
 
 // queryPool resolves the (rewritten) query against one Pool: the query is
 // forwarded through the Pool's splitter to every relevant cell, and the
 // replies converge back through the splitter (§3.2.3). When tracing, the
 // whole exchange runs inside a fan-out sub-span of the query span.
-func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int) ([]event.Event, error) {
+//
+// Failure policy (timeout + one retry, bounded backoff): an unreachable
+// splitter is retried once at the next-closest alive index node; an
+// unreachable cell is retried once, at the cell's mirror when replication
+// provides one; each reply leg is retransmitted once. Cells that stay
+// unreachable are recorded in comp and skipped. In a fault-free run the
+// traffic is identical, hop for hop, to the pre-degradation protocol.
+func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int, comp *dcs.Completeness) ([]event.Event, error) {
 	cells := p.RelevantCells(rq)
 	if len(cells) == 0 {
 		return nil, nil
+	}
+	comp.CellsTotal += len(cells)
+	unreachedAll := func() {
+		for _, c := range cells {
+			comp.Unreached = append(comp.Unreached, fmt.Sprintf("P%d %v", p.Dim, c))
+		}
 	}
 	splitter := s.SplitterFor(p, sink)
 	if s.tracer.Enabled() {
@@ -432,56 +486,183 @@ func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int) ([]even
 		defer s.tracer.End()
 		s.tracer.Record(trace.TypeFanout, splitter, len(cells), fmt.Sprintf("P%d", p.Dim))
 	}
-	if _, err := dcs.Unicast(s.net, s.router, sink, splitter, network.KindQuery, qBytes); err != nil {
-		return nil, fmt.Errorf("pool: query to splitter: %w", err)
+	if _, err := s.unicast(sink, splitter, network.KindQuery, qBytes); err != nil {
+		if !degradable(err) {
+			return nil, fmt.Errorf("pool: query to splitter: %w", err)
+		}
+		// The splitter timed out: retry once through the Pool's
+		// next-closest index node.
+		alt := s.alternateSplitter(p, sink, splitter)
+		if alt < 0 {
+			unreachedAll()
+			return nil, nil
+		}
+		comp.Retries++
+		if _, err := s.unicast(sink, alt, network.KindQuery, qBytes); err != nil {
+			if !degradable(err) {
+				return nil, fmt.Errorf("pool: query to alternate splitter: %w", err)
+			}
+			unreachedAll()
+			return nil, nil
+		}
+		splitter = alt
 	}
 	var poolResults []event.Event
+	// served tracks, per reached cell, the matches the splitter holds for
+	// it, so the final reply leg can demote them on failure.
+	type servedCell struct {
+		label   string
+		matches int
+	}
+	var served []servedCell
 	for _, c := range cells {
-		index := s.holder[c]
-		if index != splitter {
-			if _, err := dcs.Unicast(s.net, s.router, splitter, index, network.KindQuery, qBytes); err != nil {
-				return nil, fmt.Errorf("pool: query to cell %v: %w", c, err)
-			}
-		}
-		matches, err := s.queryCell(storeKey{dim: p.Dim, cell: c}, index, rq, qBytes)
+		label := fmt.Sprintf("P%d %v", p.Dim, c)
+		matches, ok, err := s.queryCellVia(p, storeKey{dim: p.Dim, cell: c}, splitter, rq, qBytes, comp)
 		if err != nil {
 			return nil, err
 		}
-		if s.tracer.Enabled() {
-			s.tracer.Record(trace.TypeResolve, index, len(matches), c.String())
-		}
-		if len(matches) == 0 {
+		if !ok {
+			comp.Unreached = append(comp.Unreached, label)
 			continue
 		}
+		served = append(served, servedCell{label: label, matches: len(matches)})
 		poolResults = append(poolResults, matches...)
-		if index != splitter {
-			if _, err := dcs.Unicast(s.net, s.router, index, splitter, network.KindReply,
-				dcs.ReplyBytes(s.dims, len(matches))); err != nil {
-				return nil, fmt.Errorf("pool: reply from cell %v: %w", c, err)
-			}
-		}
 	}
 	if len(poolResults) > 0 {
 		if s.tracer.Enabled() {
 			s.tracer.Record(trace.TypeReply, splitter, len(poolResults), "")
 		}
-		if _, err := dcs.Unicast(s.net, s.router, splitter, sink, network.KindReply,
-			dcs.ReplyBytes(s.dims, len(poolResults))); err != nil {
-			return nil, fmt.Errorf("pool: reply to sink: %w", err)
+		replyBytes := dcs.ReplyBytes(s.dims, len(poolResults))
+		if _, err := s.unicast(splitter, sink, network.KindReply, replyBytes); err != nil {
+			if !degradable(err) {
+				return nil, fmt.Errorf("pool: reply to sink: %w", err)
+			}
+			comp.Retries++
+			if _, err := s.unicast(splitter, sink, network.KindReply, replyBytes); err != nil {
+				if !degradable(err) {
+					return nil, fmt.Errorf("pool: reply to sink: %w", err)
+				}
+				// The aggregate reply never made it back: every cell whose
+				// matches it carried goes unserved; silent (empty) cells
+				// still count as served, as in the fault-free protocol.
+				for _, sc := range served {
+					if sc.matches > 0 {
+						comp.Unreached = append(comp.Unreached, sc.label)
+					} else {
+						comp.CellsReached++
+					}
+				}
+				return nil, nil
+			}
 		}
 	}
+	comp.CellsReached += len(served)
 	return poolResults, nil
+}
+
+// queryCellVia queries one cell through the splitter and returns the
+// matches the splitter received, with ok=false when the cell stayed
+// unreachable through the retry policy.
+func (s *System) queryCellVia(p Pool, key storeKey, splitter int, rq event.Query, qBytes int, comp *dcs.Completeness) (matches []event.Event, ok bool, err error) {
+	index := s.holder[key.cell]
+	target, useMirror := index, false
+	if index != splitter {
+		if _, err := s.unicast(splitter, index, network.KindQuery, qBytes); err != nil {
+			if !degradable(err) {
+				return nil, false, fmt.Errorf("pool: query to cell %v: %w", key.cell, err)
+			}
+			// The index node timed out: one retry, preferring the cell's
+			// mirror when replication provides an alive one.
+			comp.Retries++
+			if m, hasMirror := s.mirrorFor(key, index); hasMirror {
+				if m != splitter {
+					if _, err2 := s.unicast(splitter, m, network.KindQuery, qBytes); err2 != nil {
+						if !degradable(err2) {
+							return nil, false, fmt.Errorf("pool: query to mirror of %v: %w", key.cell, err2)
+						}
+						return nil, false, nil
+					}
+				}
+				target, useMirror = m, true
+			} else {
+				// No mirror: back off and re-attempt the primary once.
+				if _, err2 := s.unicast(splitter, index, network.KindQuery, qBytes); err2 != nil {
+					if !degradable(err2) {
+						return nil, false, fmt.Errorf("pool: query to cell %v: %w", key.cell, err2)
+					}
+					return nil, false, nil
+				}
+			}
+		}
+	}
+	if useMirror {
+		matches = rq.Filter(s.mirrorStore[key])
+	} else {
+		matches = s.queryCell(key, target, rq, qBytes)
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Record(trace.TypeResolve, target, len(matches), key.cell.String())
+	}
+	if len(matches) == 0 || target == splitter {
+		return matches, true, nil
+	}
+	replyBytes := dcs.ReplyBytes(s.dims, len(matches))
+	if _, err := s.unicast(target, splitter, network.KindReply, replyBytes); err != nil {
+		if !degradable(err) {
+			return nil, false, fmt.Errorf("pool: reply from cell %v: %w", key.cell, err)
+		}
+		comp.Retries++
+		if _, err := s.unicast(target, splitter, network.KindReply, replyBytes); err != nil {
+			if !degradable(err) {
+				return nil, false, fmt.Errorf("pool: reply from cell %v: %w", key.cell, err)
+			}
+			return nil, false, nil
+		}
+	}
+	return matches, true, nil
+}
+
+// mirrorFor returns the cell's mirror node when replication keeps an
+// alive copy distinct from the (unreachable) index node.
+func (s *System) mirrorFor(key storeKey, index int) (int, bool) {
+	if !s.replicate {
+		return -1, false
+	}
+	m, elected := s.mirrors[key]
+	if !elected || m < 0 || m == index || s.dead[m] {
+		return -1, false
+	}
+	return m, true
+}
+
+// alternateSplitter returns the Pool's index node closest to the sink
+// among nodes other than avoid, or -1 when the Pool has no other holder.
+func (s *System) alternateSplitter(p Pool, sink, avoid int) int {
+	layout := s.net.Layout()
+	sinkPos := layout.Pos(sink)
+	best, bestD2 := -1, math.Inf(1)
+	for _, c := range p.Cells() {
+		h := s.holder[c]
+		if h == avoid {
+			continue
+		}
+		if d2 := layout.Pos(h).Dist2(sinkPos); d2 < bestD2 {
+			best, bestD2 = h, d2
+		}
+	}
+	return best
 }
 
 // queryCell scans all storage segments of one cell. Delegated segments
 // cost an extra query/reply exchange between the index node and the
-// delegate.
-func (s *System) queryCell(key storeKey, index int, rq event.Query, qBytes int) ([]event.Event, error) {
+// delegate; a delegate that became unreachable is skipped, losing its
+// slice of the answer (visible in recall, not in cell completeness).
+func (s *System) queryCell(key storeKey, index int, rq event.Query, qBytes int) []event.Event {
 	var matches []event.Event
 	for _, seg := range s.store[key] {
 		if seg.node != index {
-			if _, err := dcs.Unicast(s.net, s.router, index, seg.node, network.KindQuery, qBytes); err != nil {
-				return nil, fmt.Errorf("pool: query to delegate: %w", err)
+			if _, err := s.unicast(index, seg.node, network.KindQuery, qBytes); err != nil {
+				continue
 			}
 		}
 		segMatches := rq.Filter(seg.events)
@@ -489,14 +670,14 @@ func (s *System) queryCell(key storeKey, index int, rq event.Query, qBytes int) 
 			continue
 		}
 		if seg.node != index {
-			if _, err := dcs.Unicast(s.net, s.router, seg.node, index, network.KindReply,
+			if _, err := s.unicast(seg.node, index, network.KindReply,
 				dcs.ReplyBytes(s.dims, len(segMatches))); err != nil {
-				return nil, fmt.Errorf("pool: reply from delegate: %w", err)
+				continue
 			}
 		}
 		matches = append(matches, segMatches...)
 	}
-	return matches, nil
+	return matches
 }
 
 // StorageLoad implements dcs.StorageReporter: events currently held by

@@ -16,7 +16,8 @@ type KindTotals struct {
 	Frames uint64
 	// Bytes counts payload bytes, matching network.Counters.Bytes.
 	Bytes uint64
-	// Lost counts frames dropped by the lossy-link model.
+	// Lost counts drops by the lossy-link model: whole frames for
+	// unicast hops, individual missed receptions for broadcasts.
 	Lost uint64
 }
 
@@ -161,12 +162,18 @@ func Analyze(events []Event) (*Analysis, error) {
 				return nil, err
 			}
 			frames := uint64(ev.Frames)
+			lost := uint64(0)
+			if ev.Lost {
+				lost = frames
+			}
+			if ev.Type == TypeBroadcast {
+				// Per-receiver drops: each missed reception counts once.
+				lost += frames * uint64(ev.NLost)
+			}
 			kt := a.ByKind[ev.Kind]
 			kt.Frames += frames
 			kt.Bytes += uint64(ev.Bytes)
-			if ev.Lost {
-				kt.Lost += frames
-			}
+			kt.Lost += lost
 			a.ByKind[ev.Kind] = kt
 			node(ev.From).Tx += frames
 			if ev.Type == TypeHop && !ev.Lost {
@@ -177,9 +184,7 @@ func Analyze(events []Event) (*Analysis, error) {
 			} else {
 				s.HopsOwn += frames
 				s.BytesOwn += uint64(ev.Bytes)
-				if ev.Lost {
-					s.LostOwn += frames
-				}
+				s.LostOwn += lost
 			}
 		default:
 			s, err := span(ev.Span)

@@ -23,7 +23,7 @@ func sampleTrace() []Event {
 	tr.Hop(5, 3, "query", 16, 1, false)
 	tr.Begin(OpFanout, 3, "P0")
 	tr.Record(TypeResolve, 3, 7, "C(2,2)")
-	tr.Broadcast(3, "query", 16, 1, 4)
+	tr.Broadcast(3, "query", 16, 1, 4, 0)
 	tr.End()
 	clock.t = 9 * time.Millisecond
 	tr.Hop(3, 5, "reply", 120, 3, false)

@@ -121,6 +121,9 @@ type Event struct {
 	Frames int `json:"frames,omitempty"`
 	// Lost marks a hop dropped by the lossy-link model.
 	Lost bool `json:"lost,omitempty"`
+	// NLost is the number of receivers a broadcast frame failed to reach
+	// under the lossy-link model (broadcast records only).
+	NLost int `json:"nlost,omitempty"`
 	// Node is the acting node of a semantic event.
 	Node int `json:"node"`
 	// N is a generic count: cells fanned out to, events matched, events
@@ -209,15 +212,16 @@ func (t *Tracer) Hop(from, to int, kind string, bytes, frames int, lost bool) {
 	})
 }
 
-// Broadcast records one local broadcast reaching n neighbours.
-func (t *Tracer) Broadcast(from int, kind string, bytes, frames, n int) {
+// Broadcast records one local broadcast reaching n neighbours; lost
+// counts the receivers the frame was dropped on by the lossy-link model.
+func (t *Tracer) Broadcast(from int, kind string, bytes, frames, n, lost int) {
 	if t == nil {
 		return
 	}
 	t.events = append(t.events, Event{
 		T: t.now(), Span: t.current(), Type: TypeBroadcast,
 		From: from, To: -1, Kind: kind, Bytes: bytes, Frames: frames,
-		Node: -1, N: n,
+		Node: -1, N: n, NLost: lost,
 	})
 }
 

@@ -23,7 +23,7 @@ func TestNilTracerIsDisabledNoOp(t *testing.T) {
 	}
 	tr.Record(TypeResolve, 2, 3, "c")
 	tr.Hop(0, 1, "query", 8, 1, false)
-	tr.Broadcast(0, "control", 8, 1, 4)
+	tr.Broadcast(0, "control", 8, 1, 4, 0)
 	tr.End()
 	tr.Reset()
 	if tr.Len() != 0 || tr.Events() != nil {
@@ -116,7 +116,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	tr.Begin(OpInsert, 4, "")
 	tr.Record(TypePlace, 9, 1, "P1 C(2,3)")
 	tr.Hop(4, 5, "insert", 40, 2, true)
-	tr.Broadcast(5, "control", 8, 1, 3)
+	tr.Broadcast(5, "control", 8, 1, 3, 0)
 	tr.End()
 
 	var buf bytes.Buffer
