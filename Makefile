@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz chaos check bench golden
+.PHONY: build test vet race fuzz chaos conformance cover-ght check bench golden
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,21 @@ fuzz:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/experiment -run 'Churn|Fault|Chaos|Fail|Degrad'
 
-check: build vet race fuzz chaos
+# Cross-system conformance: the systemtest scenario table against every
+# System implementation, race detector on.
+conformance:
+	$(GO) test -run TestConformance -race ./internal/systemtest/...
+
+# The GHT fault surface is the newest storage code; hold its package
+# coverage at or above 80%.
+cover-ght:
+	$(GO) test -coverprofile=/tmp/ght.cover ./internal/ght
+	@total=$$($(GO) tool cover -func=/tmp/ght.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/ght coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/ght coverage $$total% below the 80% gate"; exit 1; }
+
+check: build vet race fuzz chaos conformance cover-ght
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -20,6 +20,7 @@ import (
 	"pooldcs/internal/network"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/stats"
 	"pooldcs/internal/trace"
 )
 
@@ -145,12 +146,25 @@ func RandomChurn(src *rng.Source, n int, frac, recoverFrac float64, horizon time
 	return p
 }
 
-// System is the storage-protocol view of a fault: both pool.System and
-// dim.System implement it.
+// System is the storage-protocol view of a fault: pool.System,
+// dim.System, and ght.System all implement it.
 type System interface {
 	FailNode(id int) error
 	RecoverNode(id int)
 	Failed(id int) bool
+}
+
+// FailureDetector is the engine's view of a failure-detection protocol
+// (discovery.Protocol implements it). Fail silences the node's beacons;
+// sometime later — after its neighbours' beacon timeouts expire — the
+// detector fires the OnSuspect callback, and only then does the engine
+// run protocol-level teardown. Detection latency is thus a measured
+// property of the beacon exchange, not an engine parameter.
+type FailureDetector interface {
+	Fail(id int)
+	Recover(id int)
+	Suspect(id int) bool
+	OnSuspect(fn func(id int))
 }
 
 // Engine executes faults against one universe: a scheduler, a network,
@@ -161,15 +175,22 @@ type Engine struct {
 	router  *gpsr.Router
 	systems []System
 
-	tracer      *trace.Tracer
-	burstSrc    *rng.Source
-	detectDelay time.Duration
+	tracer   *trace.Tracer
+	burstSrc *rng.Source
+	detector FailureDetector
 
 	down []bool
+	// crashedAt holds, per node, the virtual time of an undetected crash
+	// (detectSentinel otherwise); the gap to the suspicion callback is the
+	// measured detection latency.
+	crashedAt  []time.Duration
+	detectHist *stats.IntHistogram
 
 	crashes, recoveries, bursts int
 	errs                        []error
 }
+
+const detectSentinel = time.Duration(-1)
 
 // EngineOption configures NewEngine.
 type EngineOption interface {
@@ -191,15 +212,17 @@ func WithBurstSource(src *rng.Source) EngineOption {
 	return engineOption(func(e *Engine) { e.burstSrc = src })
 }
 
-// WithDetectionDelay makes crashes take effect in two steps, modelling
-// the time a real deployment needs to notice a silent mote: routing and
-// the radio die immediately, but the storage protocols' repair
-// (System.FailNode) runs only d later — and not at all if the node came
-// back in the meantime. Queries issued inside the window exercise the
-// graceful-degradation path against an undetected corpse. Default 0:
-// repair runs synchronously inside CrashNode.
-func WithDetectionDelay(d time.Duration) EngineOption {
-	return engineOption(func(e *Engine) { e.detectDelay = d })
+// WithFailureDetection routes crash teardown through a failure-detection
+// protocol. A crash then takes effect in two steps: the radio goes
+// silent and the detector's beacon loop for the node stops immediately,
+// but routing exclusion and the storage protocols' repair run only when
+// the detector raises a suspicion — after the victim's neighbours miss
+// enough beacons. Queries issued inside that emergent window route into
+// an undetected corpse and exercise the graceful-degradation path. The
+// engine records each crash-to-suspicion gap in DetectionLatency.
+// Without this option, repair runs synchronously inside CrashNode.
+func WithFailureDetection(d FailureDetector) EngineOption {
+	return engineOption(func(e *Engine) { e.detector = d })
 }
 
 // NewEngine wires an engine to a universe. Battery-depletion deaths are
@@ -208,17 +231,25 @@ func WithDetectionDelay(d time.Duration) EngineOption {
 // (deferred one scheduler event, since depletion fires mid-transmit).
 func NewEngine(sched *sim.Scheduler, net *network.Network, router *gpsr.Router, systems []System, opts ...EngineOption) *Engine {
 	e := &Engine{
-		sched:   sched,
-		net:     net,
-		router:  router,
-		systems: systems,
-		down:    make([]bool, net.Layout().N()),
+		sched:      sched,
+		net:        net,
+		router:     router,
+		systems:    systems,
+		down:       make([]bool, net.Layout().N()),
+		crashedAt:  make([]time.Duration, net.Layout().N()),
+		detectHist: stats.NewIntHistogram(),
+	}
+	for i := range e.crashedAt {
+		e.crashedAt[i] = detectSentinel
 	}
 	for _, o := range opts {
 		o.apply(e)
 	}
 	if e.burstSrc == nil {
 		e.burstSrc = rng.New(0x0C5A05)
+	}
+	if e.detector != nil {
+		e.detector.OnSuspect(func(id int) { e.onSuspect(id) })
 	}
 	net.OnDepleted(func(id int) {
 		sched.After(0, func() { e.CrashNode(id) })
@@ -253,10 +284,14 @@ func (e *Engine) execute(f Fault) {
 	}
 }
 
-// CrashNode kills a node at every layer: routing excludes it, the radio
-// goes silent, and each storage system runs its repair protocol. Repair
-// errors (a protocol finding no survivor to re-home onto) are collected,
-// not fatal — see Errs. Crashing a dead node is a no-op.
+// CrashNode kills a node. Without a failure detector the teardown is
+// synchronous at every layer: routing excludes it, the radio goes
+// silent, and each storage system runs its repair protocol. With
+// WithFailureDetection, only the physical layers die now — routing
+// exclusion and repair wait for the detector's suspicion, so the
+// detection window is whatever the beacon exchange takes to notice.
+// Repair errors (a protocol finding no survivor to re-home onto) are
+// collected, not fatal — see Errs. Crashing a dead node is a no-op.
 func (e *Engine) CrashNode(id int) {
 	if id < 0 || id >= len(e.down) || e.down[id] {
 		return
@@ -266,16 +301,42 @@ func (e *Engine) CrashNode(id int) {
 	if e.tracer.Enabled() {
 		e.tracer.Record(trace.TypeFault, id, 0, "chaos crash")
 	}
-	e.router.Exclude(id)
 	e.net.FailNode(id)
-	if e.detectDelay > 0 {
-		e.sched.After(e.detectDelay, func() {
-			if e.down[id] {
-				e.repair(id)
-			}
-		})
+	if e.detector != nil {
+		e.detector.Fail(id)
+		if e.detector.Suspect(id) {
+			// A standing (lossy-link) suspicion predates the crash, so no
+			// new callback will fire; tear down now without a latency
+			// sample — the crash was effectively pre-detected.
+			e.teardown(id)
+			return
+		}
+		e.crashedAt[id] = e.sched.Now()
 		return
 	}
+	e.router.Exclude(id)
+	e.repair(id)
+}
+
+// onSuspect is the detector callback: protocol-level teardown for a
+// crashed node, at the moment its neighbours noticed the silence.
+// Suspicions about nodes the engine never crashed (false positives from
+// lossy links) are ignored — the node's own next beacon clears them.
+func (e *Engine) onSuspect(id int) {
+	if id < 0 || id >= len(e.down) || !e.down[id] {
+		return
+	}
+	if at := e.crashedAt[id]; at != detectSentinel {
+		e.detectHist.Add((e.sched.Now() - at).Milliseconds())
+		e.crashedAt[id] = detectSentinel
+	}
+	e.teardown(id)
+}
+
+// teardown runs the protocol-level part of a crash: routing detours
+// around the corpse, then every storage system repairs.
+func (e *Engine) teardown(id int) {
+	e.router.Exclude(id)
 	e.repair(id)
 }
 
@@ -297,11 +358,15 @@ func (e *Engine) RecoverNode(id int) {
 	}
 	e.down[id] = false
 	e.recoveries++
+	e.crashedAt[id] = detectSentinel
 	if e.tracer.Enabled() {
 		e.tracer.Record(trace.TypeFault, id, 0, "chaos recover")
 	}
 	e.router.Restore(id)
 	e.net.RecoverNode(id)
+	if e.detector != nil {
+		e.detector.Recover(id)
+	}
 	for _, s := range e.systems {
 		s.RecoverNode(id)
 	}
@@ -319,6 +384,12 @@ func (e *Engine) StartBurst(region geo.Rect, rate float64, duration time.Duratio
 
 // Down reports whether the engine currently holds the node down.
 func (e *Engine) Down(id int) bool { return e.down[id] }
+
+// DetectionLatency returns the histogram of crash-to-suspicion gaps (in
+// milliseconds) observed through the failure detector. Empty when the
+// engine runs without WithFailureDetection or no crash has been detected
+// yet.
+func (e *Engine) DetectionLatency() *stats.IntHistogram { return e.detectHist }
 
 // Crashes returns the number of crashes executed so far.
 func (e *Engine) Crashes() int { return e.crashes }

@@ -177,6 +177,15 @@ func GeoUnicastOpts(net *network.Network, router *gpsr.Router, from int, target 
 	return res.Home, sent, nil
 }
 
+// Degradable reports whether a transmission failure is one graceful
+// degradation absorbs: a dead or partitioned destination, or a hop that
+// exhausted its ARQ budget. Anything else is a programming fault the
+// storage protocols must surface. All three systems (pool, dim, ght)
+// share this predicate so their degradation semantics cannot drift.
+func Degradable(err error) bool {
+	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrHopExhausted)
+}
+
 // Completeness reports how much of a query's fan-out was actually served.
 // Under churn a query may return a partial answer: some cells (Pool) or
 // zones (DIM) stay unreachable through the retry policy. CellsTotal is the

@@ -1,7 +1,6 @@
 package dim
 
 import (
-	"errors"
 	"fmt"
 
 	"pooldcs/internal/dcs"
@@ -301,11 +300,9 @@ type zoneVisit struct {
 }
 
 // degradable reports whether a unicast failure is one graceful
-// degradation absorbs: a dead or partitioned destination, or a hop that
-// exhausted its ARQ budget.
-func degradable(err error) bool {
-	return errors.Is(err, dcs.ErrUnreachable) || errors.Is(err, dcs.ErrHopExhausted)
-}
+// degradation absorbs; the shared predicate lives in dcs so pool, dim,
+// and ght stay in lockstep.
+func degradable(err error) bool { return dcs.Degradable(err) }
 
 // QueryWithReport is Query plus a Completeness report over the relevant
 // zones: how many the dissemination addressed, how many were served

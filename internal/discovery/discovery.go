@@ -6,9 +6,13 @@
 // to avoid synchronized collisions); receivers record the sender with a
 // timestamp. A neighbour that misses several consecutive beacons is
 // evicted, which is how node failures become visible to the routing
-// layer. The protocol runs on the deterministic discrete-event kernel, so
-// convergence is reproducible and testable against the oracle neighbour
-// tables of the deployment.
+// layer. Eviction raises a *suspicion*: the first neighbour whose
+// timeout expires for a silent node fires the OnSuspect callback, so
+// failure-detection latency is an emergent property of the beacon
+// period, jitter, miss limit, and link loss — not a configured constant.
+// The protocol runs on the deterministic discrete-event kernel, so
+// convergence and detection latency are reproducible and testable
+// against the oracle neighbour tables of the deployment.
 package discovery
 
 import (
@@ -51,6 +55,13 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Timeout returns the eviction deadline: a neighbour not heard for this
+// long is suspected. MissLimit beacon periods plus the jitter slack each
+// period can add.
+func (c Config) Timeout() time.Duration {
+	return time.Duration(c.MissLimit) * (c.Interval + c.Jitter)
+}
+
 // Protocol is a running beacon exchange.
 type Protocol struct {
 	cfg   Config
@@ -62,7 +73,16 @@ type Protocol struct {
 	lastHeard []map[int]time.Duration
 	// failed marks nodes that have stopped beaconing.
 	failed []bool
-	// stop ends the beacon loops.
+	// epoch invalidates stale beacon loops: Fail and Recover bump it, and
+	// a pending beacon event whose epoch no longer matches is a no-op, so
+	// a fail/recover pair cannot leave two loops running for one node.
+	epoch []uint64
+	// suspected marks nodes some neighbour has evicted on timeout; it is
+	// cleared the moment any node hears the suspect beacon again.
+	suspected []bool
+	// onSuspect, when set, fires once per suspicion episode.
+	onSuspect func(id int)
+	// stopped ends the beacon loops.
 	stopped bool
 }
 
@@ -77,6 +97,8 @@ func New(net *network.Network, sched *sim.Scheduler, src *rng.Source, cfg Config
 		src:       src,
 		lastHeard: make([]map[int]time.Duration, n),
 		failed:    make([]bool, n),
+		epoch:     make([]uint64, n),
+		suspected: make([]bool, n),
 	}
 	for i := range p.lastHeard {
 		p.lastHeard[i] = make(map[int]time.Duration)
@@ -84,13 +106,17 @@ func New(net *network.Network, sched *sim.Scheduler, src *rng.Source, cfg Config
 	return p
 }
 
+// Config returns the effective configuration (defaults applied).
+func (p *Protocol) Config() Config { return p.cfg }
+
 // Start schedules the first beacon of every node. Call sched.RunUntil to
 // advance the protocol.
 func (p *Protocol) Start() {
 	for id := 0; id < p.net.Layout().N(); id++ {
 		id := id
+		ep := p.epoch[id]
 		offset := time.Duration(p.src.Int63() % int64(p.cfg.Jitter+1))
-		p.sched.After(offset, func() { p.beacon(id) })
+		p.sched.After(offset, func() { p.beacon(id, ep) })
 	}
 }
 
@@ -98,27 +124,99 @@ func (p *Protocol) Start() {
 func (p *Protocol) Stop() { p.stopped = true }
 
 // Fail silences a node: it stops beaconing (and, in a real system, stops
-// forwarding). Its neighbours evict it after MissLimit intervals.
-func (p *Protocol) Fail(id int) { p.failed[id] = true }
+// forwarding). Its neighbours evict it after MissLimit intervals, which
+// raises the suspicion that drives failure detection.
+func (p *Protocol) Fail(id int) {
+	if id < 0 || id >= len(p.failed) || p.failed[id] {
+		return
+	}
+	p.failed[id] = true
+	p.epoch[id]++
+}
 
-// beacon broadcasts once and reschedules.
-func (p *Protocol) beacon(id int) {
-	if p.stopped || p.failed[id] {
+// Recover restarts a silenced node's beacon loop (a rebooted mote
+// re-announcing itself). Neighbours clear any standing suspicion as soon
+// as they hear it again. Recovering a node that never failed is a no-op.
+func (p *Protocol) Recover(id int) {
+	if id < 0 || id >= len(p.failed) || !p.failed[id] {
+		return
+	}
+	p.failed[id] = false
+	p.epoch[id]++
+	ep := p.epoch[id]
+	offset := time.Duration(p.src.Int63() % int64(p.cfg.Jitter+1))
+	p.sched.After(offset, func() { p.beacon(id, ep) })
+}
+
+// Failed reports whether the node's beacon loop is currently silenced.
+func (p *Protocol) Failed(id int) bool { return p.failed[id] }
+
+// Suspect reports whether some neighbour currently suspects the node:
+// its beacons have gone unheard past the eviction timeout and it has not
+// been heard since.
+func (p *Protocol) Suspect(id int) bool { return p.suspected[id] }
+
+// OnSuspect registers fn to be called once per suspicion episode, at the
+// moment the first neighbour's beacon timeout expires for a silent node.
+// The callback runs inside a scheduler event (the suspecting node's
+// beacon tick), so the detection time it observes via the scheduler
+// clock is the emergent detection latency.
+func (p *Protocol) OnSuspect(fn func(id int)) { p.onSuspect = fn }
+
+// beacon broadcasts once, sweeps the sender's own neighbour table for
+// timed-out entries, and reschedules.
+func (p *Protocol) beacon(id int, ep uint64) {
+	if p.stopped || p.failed[id] || ep != p.epoch[id] {
 		return
 	}
 	now := p.sched.Now()
 	for _, nbr := range p.net.Broadcast(id, network.KindControl, p.cfg.PayloadBytes) {
 		p.lastHeard[nbr][id] = now
 	}
+	// Any node that heard this beacon knows id is alive.
+	if p.suspected[id] {
+		p.suspected[id] = false
+	}
+	p.sweep(id, now)
 	jitter := time.Duration(p.src.Int63() % int64(p.cfg.Jitter+1))
-	p.sched.After(p.cfg.Interval+jitter-p.cfg.Jitter/2, func() { p.beacon(id) })
+	p.sched.After(p.cfg.Interval+jitter-p.cfg.Jitter/2, func() { p.beacon(id, ep) })
+}
+
+// sweep evicts neighbours of id not heard within the timeout and raises
+// a suspicion for each eviction. Stale entries are collected and sorted
+// before firing so the callback order is deterministic.
+func (p *Protocol) sweep(id int, now time.Duration) {
+	deadline := now - p.cfg.Timeout()
+	var stale []int
+	for nbr, heard := range p.lastHeard[id] {
+		if heard < deadline {
+			stale = append(stale, nbr)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	sort.Ints(stale)
+	for _, nbr := range stale {
+		delete(p.lastHeard[id], nbr)
+		if p.suspected[nbr] {
+			continue
+		}
+		p.suspected[nbr] = true
+		if p.onSuspect != nil {
+			p.onSuspect(nbr)
+		}
+	}
 }
 
 // Neighbors returns the node's current neighbour table: every node heard
-// within MissLimit intervals (plus jitter slack), sorted ascending.
+// within the eviction timeout, sorted ascending. The returned slice is
+// freshly allocated on every call — callers may keep or mutate it, and a
+// header cached before a failure never masks a later eviction (re-call
+// to observe the updated table).
 func (p *Protocol) Neighbors(id int) []int {
-	deadline := p.sched.Now() - time.Duration(p.cfg.MissLimit)*(p.cfg.Interval+p.cfg.Jitter)
-	var out []int
+	deadline := p.sched.Now() - p.cfg.Timeout()
+	out := make([]int, 0, len(p.lastHeard[id]))
 	for nbr, heard := range p.lastHeard[id] {
 		if heard >= deadline {
 			out = append(out, nbr)

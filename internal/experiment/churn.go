@@ -7,13 +7,16 @@ import (
 	"pooldcs/internal/chaos"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
+	"pooldcs/internal/discovery"
 	"pooldcs/internal/event"
 	"pooldcs/internal/field"
+	"pooldcs/internal/ght"
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/stats"
 	"pooldcs/internal/texttable"
 	"pooldcs/internal/workload"
 )
@@ -21,20 +24,23 @@ import (
 // churnHorizon is the virtual time one churn row simulates.
 const churnHorizon = 60 * time.Second
 
-// churnDetectDelay is how long a crash stays undetected: routing and the
-// radio die immediately, the storage protocols repair only after the
-// delay. Queries landing inside the window exercise graceful
-// degradation against undetected corpses.
-const churnDetectDelay = 2 * time.Second
+// churnBeaconInterval is the discovery beacon period driving failure
+// detection. A crash stays undetected until its neighbours miss enough
+// beacons (discovery.Config.Timeout, ≈3.75 s at the defaults), so the
+// detection window is an emergent property of the beacon exchange —
+// measured into the Detect columns — instead of a configured constant.
+const churnBeaconInterval = time.Second
 
-// churnUniverse is one system under churn: its own radio and router (so
-// per-system traffic stays separable) plus the per-query accumulators.
+// churnUniverse is one system under churn: its own radio, router, and
+// beacon protocol (so per-system traffic stays separable) plus the
+// per-query accumulators.
 type churnUniverse struct {
 	net    *network.Network
 	router *gpsr.Router
 	sys    interface {
 		QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
 	}
+	disc   *discovery.Protocol
 	engine *chaos.Engine
 
 	sumRecall float64
@@ -42,20 +48,28 @@ type churnUniverse struct {
 	msgs      uint64
 }
 
-// Churn measures how the three designs — Pool, Pool with cell mirroring,
-// and DIM — degrade under growing node churn. A deterministic fault plan
-// crashes a fraction of the deployment spread over the horizon (a
-// quarter of the victims later reboot, empty); queries fire at random
-// times in between, so some land inside the detection window and must
-// degrade gracefully. Reported per churn rate: mean recall against the
-// ground-truth oracle (every event ever stored), mean completeness
-// (cells served / cells addressed), and query+reply messages per query.
+// Churn measures how the four designs — Pool, Pool with cell mirroring,
+// DIM, and the GHT baseline — degrade under growing node churn. A
+// deterministic fault plan crashes a fraction of the deployment spread
+// over the horizon (a quarter of the victims later reboot, empty); each
+// universe runs the discovery beacon protocol, and the chaos engine
+// tears a crash down only when the victim's neighbours miss enough
+// beacons, so queries landing inside the emergent detection window must
+// degrade gracefully against an undetected corpse. Pool and DIM answer
+// the range-query workload; GHT — which supports only exact-match
+// lookups — answers a parallel stream of point queries for stored
+// events. Reported per churn rate: mean recall against the ground-truth
+// oracle (every event ever stored), mean completeness (cells served /
+// cells addressed), query+reply messages per query, and the measured
+// detection-latency distribution (p50/p95 across all universes).
 func Churn(cfg Config, churnPcts []int) (*Result, error) {
 	title := fmt.Sprintf("Query degradation under churn, N=%d (recall vs oracle / completeness / msgs per query)", cfg.PartialSize)
 	table := texttable.New(title, "Churn%",
 		"Pool recall", "Pool compl", "Pool msgs",
 		"Repl recall", "Repl compl", "Repl msgs",
-		"DIM recall", "DIM compl", "DIM msgs")
+		"DIM recall", "DIM compl", "DIM msgs",
+		"GHT recall", "GHT compl", "GHT msgs",
+		"Detect p50 ms", "Detect p95 ms")
 
 	for _, pct := range churnPcts {
 		n := cfg.PartialSize
@@ -66,7 +80,7 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		}
 		sched := sim.NewScheduler()
 
-		build := func(mk func(net *network.Network, router *gpsr.Router) (chaos.System, error)) (*churnUniverse, error) {
+		build := func(name string, mk func(net *network.Network, router *gpsr.Router) (chaos.System, error)) (*churnUniverse, error) {
 			net := network.New(layout)
 			router := gpsr.New(layout)
 			sys, err := mk(net, router)
@@ -77,29 +91,37 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			u.sys = sys.(interface {
 				QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
 			})
+			u.disc = discovery.New(net, sched, src.Fork("beacons-"+name),
+				discovery.Config{Interval: churnBeaconInterval})
 			u.engine = chaos.NewEngine(sched, net, router, []chaos.System{sys},
-				chaos.WithDetectionDelay(churnDetectDelay))
+				chaos.WithFailureDetection(u.disc))
 			return u, nil
 		}
-		plain, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+		plain, err := build("plain", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
 			return pool.New(net, router, cfg.Dims, src.Fork("pivots-plain"))
 		})
 		if err != nil {
 			return nil, err
 		}
-		repl, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+		repl, err := build("repl", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
 			return pool.New(net, router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication())
 		})
 		if err != nil {
 			return nil, err
 		}
-		dimU, err := build(func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+		dimU, err := build("dim", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
 			return dim.New(net, router, cfg.Dims)
 		})
 		if err != nil {
 			return nil, err
 		}
-		universes := []*churnUniverse{plain, repl, dimU}
+		ghtU, err := build("ght", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
+			return ght.New(net, router), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		universes := []*churnUniverse{plain, repl, dimU, ghtU}
 
 		// Load every universe identically, then forget the insert traffic.
 		placed := GenerateEvents(layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
@@ -115,6 +137,9 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			if err := dimU.sys.(*dim.System).Insert(pe.Origin, pe.Event); err != nil {
 				return nil, err
 			}
+			if err := ghtU.sys.(*ght.System).Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
 		}
 
 		// The same fault plan hits every universe.
@@ -126,14 +151,17 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		}
 
 		// Queries fire at random times across the horizon, interleaved
-		// with the faults.
+		// with the faults. Pool and DIM resolve the range query; GHT, the
+		// point query of a stored event drawn for the same instant.
 		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 		qsrc := src.Fork("query-times")
+		gsrc := src.Fork("ght-picks")
 		var queryErr error
 		for qi := 0; qi < cfg.Queries; qi++ {
 			at := time.Duration(qsrc.Float64() * float64(churnHorizon))
 			sink := qsrc.Intn(n)
 			q := qgen.ExactMatch(workload.UniformSizes)
+			pq := pointQueryFor(all[gsrc.Intn(len(all))])
 			if err := sched.At(at, func() {
 				// The scheduled sink may have died by now: a real user
 				// would issue from a live gateway.
@@ -142,29 +170,48 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				}
 				oracle := q.Rewrite().Filter(all)
 				for _, u := range universes {
+					uq, uOracle := q, oracle
+					if u == ghtU {
+						uq = pq
+						uOracle = pq.Rewrite().Filter(all)
+					}
 					before := u.net.Snapshot()
-					got, comp, err := u.sys.QueryWithReport(sink, q)
+					got, comp, err := u.sys.QueryWithReport(sink, uq)
 					if err != nil && queryErr == nil {
 						queryErr = fmt.Errorf("churn %d%% query at %v: %w", pct, at, err)
 						return
 					}
 					d := u.net.Diff(before)
 					u.msgs += d.Messages[network.KindQuery] + d.Messages[network.KindReply]
-					u.sumRecall += recallOf(got, oracle)
+					u.sumRecall += recallOf(got, uOracle)
 					u.sumComp += comp.Fraction()
 				}
 			}); err != nil {
 				return nil, err
 			}
 		}
+		// Beacons reschedule themselves forever; end every protocol at the
+		// horizon so the event queue drains.
+		for _, u := range universes {
+			u.disc.Start()
+		}
+		if err := sched.At(churnHorizon, func() {
+			for _, u := range universes {
+				u.disc.Stop()
+			}
+		}); err != nil {
+			return nil, err
+		}
 		sched.Run()
 		if queryErr != nil {
 			return nil, queryErr
 		}
+		detect := stats.NewIntHistogram()
 		for _, u := range universes {
 			for _, err := range u.engine.Errs() {
 				return nil, fmt.Errorf("churn %d%%: %w", pct, err)
 			}
+			detect.Merge(u.engine.DetectionLatency())
 		}
 
 		nq := float64(cfg.Queries)
@@ -175,9 +222,21 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				texttable.Float(u.sumComp/nq, 3),
 				texttable.Float(float64(u.msgs)/nq, 1))
 		}
+		row = append(row,
+			texttable.Int(int(detect.Quantile(50))),
+			texttable.Int(int(detect.Quantile(95))))
 		table.AddRow(row...)
 	}
 	return &Result{ID: "ablation-churn", Title: title, Table: table}, nil
+}
+
+// pointQueryFor builds the exact-match query addressing one event's key.
+func pointQueryFor(e event.Event) event.Query {
+	rs := make([]event.Range, len(e.Values))
+	for i, v := range e.Values {
+		rs[i] = event.PointRange(v)
+	}
+	return event.NewQuery(rs...)
 }
 
 // recallOf returns |got ∩ oracle| / |oracle|, 1.0 when the oracle is

@@ -61,6 +61,8 @@ type System struct {
 	// same key skip the perimeter probe, mirroring GHT's perimeter-refresh
 	// caching.
 	homes map[geo.Point]int
+	// dead marks failed nodes (faults.go).
+	dead []bool
 }
 
 var _ dcs.System = (*System)(nil)
@@ -73,6 +75,7 @@ func New(net *network.Network, router *gpsr.Router, opts ...Option) *System {
 		router:  router,
 		storage: make([][]event.Event, net.Layout().N()),
 		homes:   make(map[geo.Point]int),
+		dead:    make([]bool, net.Layout().N()),
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -170,43 +173,104 @@ func (s *System) Insert(origin int, e event.Event) error {
 	return nil
 }
 
-// Query implements dcs.System for exact-match point queries only.
+// Query implements dcs.System for exact-match point queries only. Under
+// node failures the query degrades gracefully — mirrors whose home stays
+// unreachable through one retry are skipped and the matches that could
+// be gathered are returned; use QueryWithReport to learn how complete
+// the answer is.
 func (s *System) Query(sink int, q event.Query) ([]event.Event, error) {
+	results, _, err := s.QueryWithReport(sink, q)
+	return results, err
+}
+
+// QueryWithReport is Query plus a Completeness report with pool/dim
+// semantics: the fan-out size is the number of mirror homes the query
+// must visit (1 without structured replication), a mirror counts as
+// reached when its query leg was delivered AND — if it held matches —
+// its reply made it back to the sink, and Retries counts the extra
+// unicasts the failure policy spent. An incomplete answer is not an
+// error — the error return covers only malformed or unsupported queries
+// and programming faults.
+//
+// Failure policy (timeout + one retry, matching pool and dim): an
+// unreachable home is retried once — GHT keeps no per-key replica of a
+// single home, so the retry re-attempts the same node; a mirror that
+// stays unreachable is recorded in comp and skipped, and the chain
+// continues from the last node actually reached. A reply leg that fails
+// twice demotes the mirror to unreached (its matches never arrived). In
+// a fault-free run the traffic is identical, hop for hop, to the
+// pre-degradation protocol.
+func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error) {
+	var comp dcs.Completeness
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("ght: %w", err)
+		return nil, comp, fmt.Errorf("ght: %w", err)
 	}
 	if q.Classify() != event.ExactPoint {
-		return nil, fmt.Errorf("%w: got %v", ErrUnsupported, q.Classify())
+		return nil, comp, fmt.Errorf("%w: got %v", ErrUnsupported, q.Classify())
 	}
 	key := make([]float64, q.Dims())
 	for i, r := range q.Ranges {
 		key[i] = r.L
 	}
 	root := s.HashPoint(key)
+	qBytes := dcs.QueryBytes(q.Dims())
 	// With structured replication, matching events may sit at any mirror;
 	// the query walks all of them in a chain and each mirror with matches
 	// replies.
+	mirrors := s.MirrorPoints(root)
+	comp.CellsTotal += len(mirrors)
 	var matches []event.Event
 	cur := sink
-	for _, pt := range s.MirrorPoints(root) {
+	for mi, pt := range mirrors {
+		label := fmt.Sprintf("M%d %v", mi, pt)
 		home, err := s.home(cur, pt)
 		if err != nil {
-			return nil, fmt.Errorf("ght: query: %w", err)
+			if !dcs.Degradable(err) {
+				return nil, comp, fmt.Errorf("ght: query: %w", err)
+			}
+			comp.Unreached = append(comp.Unreached, label)
+			continue
 		}
-		if _, err := dcs.Unicast(s.net, s.router, cur, home, network.KindQuery, dcs.QueryBytes(q.Dims())); err != nil {
-			return nil, fmt.Errorf("ght: query: %w", err)
+		if _, err := dcs.Unicast(s.net, s.router, cur, home, network.KindQuery, qBytes); err != nil {
+			if !dcs.Degradable(err) {
+				return nil, comp, fmt.Errorf("ght: query: %w", err)
+			}
+			// The home timed out. GHT has no alternate holder for a hashed
+			// point — the hash names exactly one home — so back off and
+			// re-attempt the same node once.
+			comp.Retries++
+			if _, err := dcs.Unicast(s.net, s.router, cur, home, network.KindQuery, qBytes); err != nil {
+				if !dcs.Degradable(err) {
+					return nil, comp, fmt.Errorf("ght: query: %w", err)
+				}
+				comp.Unreached = append(comp.Unreached, label)
+				continue
+			}
 		}
 		cur = home
 		found := q.Filter(s.storage[home])
 		if len(found) > 0 || s.replDepth == 0 {
-			matches = append(matches, found...)
-			if _, err := dcs.Unicast(s.net, s.router, home, sink, network.KindReply,
-				dcs.ReplyBytes(q.Dims(), len(found))); err != nil {
-				return nil, fmt.Errorf("ght: reply: %w", err)
+			replyBytes := dcs.ReplyBytes(q.Dims(), len(found))
+			if _, err := dcs.Unicast(s.net, s.router, home, sink, network.KindReply, replyBytes); err != nil {
+				if !dcs.Degradable(err) {
+					return nil, comp, fmt.Errorf("ght: reply: %w", err)
+				}
+				comp.Retries++
+				if _, err := dcs.Unicast(s.net, s.router, home, sink, network.KindReply, replyBytes); err != nil {
+					if !dcs.Degradable(err) {
+						return nil, comp, fmt.Errorf("ght: reply: %w", err)
+					}
+					// The reply never made it back: the mirror's matches are
+					// lost to the sink, so it goes unserved.
+					comp.Unreached = append(comp.Unreached, label)
+					continue
+				}
 			}
+			matches = append(matches, found...)
 		}
+		comp.CellsReached++
 	}
-	return matches, nil
+	return matches, comp, nil
 }
 
 // StorageLoad implements dcs.StorageReporter.

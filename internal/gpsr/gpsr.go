@@ -69,6 +69,11 @@ func (r *Router) Restore(id int) {
 // Excluded reports whether a node is currently excluded from routing.
 func (r *Router) Excluded(id int) bool { return r.excluded[id] }
 
+// NumExcluded returns the number of nodes currently excluded from
+// routing — a cheap consistency probe for fault harnesses, which check
+// it against the set of failures they injected.
+func (r *Router) NumExcluded() int { return r.nExcluded }
+
 // ErrUnreachable is returned when a route cannot be completed: the
 // destination is excluded, or the perimeter tour proves that no alive
 // path reaches it (the alive subgraph is partitioned).

@@ -1,7 +1,6 @@
 package pool
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -452,11 +451,9 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 }
 
 // degradable reports whether a unicast failure is one graceful
-// degradation absorbs: a dead or partitioned destination, or a hop that
-// exhausted its ARQ budget. Anything else is a programming fault.
-func degradable(err error) bool {
-	return errors.Is(err, dcs.ErrUnreachable) || errors.Is(err, dcs.ErrHopExhausted)
-}
+// degradation absorbs; the shared predicate lives in dcs so pool, dim,
+// and ght stay in lockstep.
+func degradable(err error) bool { return dcs.Degradable(err) }
 
 // queryPool resolves the (rewritten) query against one Pool: the query is
 // forwarded through the Pool's splitter to every relevant cell, and the

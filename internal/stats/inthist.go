@@ -30,6 +30,17 @@ func (h *IntHistogram) Add(v int64) {
 // Total returns the number of recorded observations.
 func (h *IntHistogram) Total() uint64 { return h.total }
 
+// Merge folds every observation of other into h. Merging nil is a no-op.
+func (h *IntHistogram) Merge(other *IntHistogram) {
+	if other == nil {
+		return
+	}
+	for v, c := range other.counts {
+		h.counts[v] += c
+		h.total += c
+	}
+}
+
 // Min returns the smallest observation (0 when empty).
 func (h *IntHistogram) Min() int64 {
 	first := true

@@ -1,0 +1,280 @@
+package systemtest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+// eventAt builds a deterministic random event keyed by its sequence
+// number, so scenarios can mint fresh events without sharing a source.
+func eventAt(dims, seq int) event.Event {
+	src := rng.New(int64(seq))
+	vals := make([]float64, dims)
+	for d := range vals {
+		vals[d] = src.Float64()
+	}
+	e := event.New(vals...)
+	e.Seq = uint64(seq)
+	return e
+}
+
+// Conformance suite dimensions: every scenario runs against every
+// factory over a fresh universe.
+const (
+	confNodes  = 150
+	confEvents = 80
+	confDims   = 3
+	confSeed   = 4200
+)
+
+// expect holds a scenario's acceptance thresholds for one system.
+type expect struct {
+	// minRecall is the mean-recall floor.
+	minRecall float64
+	// fullRecall requires mean recall exactly 1.
+	fullRecall bool
+	// complete requires every query's fan-out fully served;
+	// incomplete requires at least one query partially served.
+	complete, incomplete bool
+	// retries requires at least one retry spent across the sweep.
+	retries bool
+}
+
+// scenario is one row of the conformance table: a fault/recovery script
+// applied to a fresh loaded universe, then a full query sweep judged
+// against per-system expectations.
+type scenario struct {
+	name string
+	// apply mutates the universe (crash/recover/advance time) and may
+	// return a node the sweep must not use as sink.
+	apply func(t *testing.T, u *Universe)
+	// expectations per factory name.
+	expect map[string]expect
+}
+
+// everySystem builds an expectation map that holds for all factories,
+// with optional per-name overrides.
+func everySystem(base expect, overrides map[string]expect) map[string]expect {
+	m := map[string]expect{}
+	for _, f := range Factories() {
+		e := base
+		if o, ok := overrides[f.Name]; ok {
+			e = o
+		}
+		m[f.Name] = e
+	}
+	return m
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name:  "baseline",
+			apply: func(t *testing.T, u *Universe) {},
+			expect: everySystem(
+				expect{fullRecall: true, complete: true},
+				nil),
+		},
+		{
+			name: "detected-crash",
+			apply: func(t *testing.T, u *Universe) {
+				victim := u.MostLoaded()
+				if victim < 0 {
+					t.Fatal("no loaded node to crash")
+				}
+				if err := u.CrashDetected(victim); err != nil {
+					t.Fatal(err)
+				}
+				if !u.Sys.Failed(victim) {
+					t.Fatal("FailNode did not mark the victim")
+				}
+				if u.Router.NumExcluded() != 1 {
+					t.Fatalf("router exclusions = %d, want 1", u.Router.NumExcluded())
+				}
+			},
+			// Detection ran, so service must be complete for every system;
+			// how much data survives is each design's story: replication
+			// keeps recall 1, the single-copy systems lose the victim's
+			// share.
+			expect: everySystem(
+				expect{minRecall: 0.5, complete: true},
+				map[string]expect{
+					"pool+repl": {fullRecall: true, complete: true},
+				}),
+		},
+		{
+			name: "silent-crash",
+			apply: func(t *testing.T, u *Universe) {
+				victim := u.MostLoaded()
+				if victim < 0 {
+					t.Fatal("no loaded node to crash")
+				}
+				u.CrashSilent(victim)
+			},
+			// No repair ran: every system must degrade, not error. The
+			// mirror serves pool+repl transparently; the single-copy systems
+			// leave the victim's cells unreached after spending retries.
+			expect: everySystem(
+				expect{minRecall: 0.5, incomplete: true, retries: true},
+				map[string]expect{
+					"pool+repl": {fullRecall: true, complete: true, retries: true},
+				}),
+		},
+		{
+			name: "blip",
+			apply: func(t *testing.T, u *Universe) {
+				victim := u.MostLoaded()
+				if victim < 0 {
+					t.Fatal("no loaded node to crash")
+				}
+				// Crash and recover before any detection: the mote rebooted
+				// inside the beacon timeout, so repair never ran and its
+				// storage is intact.
+				u.CrashSilent(victim)
+				u.Recover(victim)
+			},
+			expect: everySystem(
+				expect{fullRecall: true, complete: true},
+				nil),
+		},
+		{
+			name: "insert-after-detected-crash",
+			apply: func(t *testing.T, u *Universe) {
+				victim := u.MostLoaded()
+				if victim < 0 {
+					t.Fatal("no loaded node to crash")
+				}
+				if err := u.CrashDetected(victim); err != nil {
+					t.Fatal(err)
+				}
+				// Forget the pre-crash oracle: this scenario judges only the
+				// post-repair write path — new events must be fully stored
+				// and queryable, proving the index repair re-homed the
+				// victim's responsibilities.
+				u.Events = nil
+				origin := u.PickAlive()
+				for i := 0; i < 20; i++ {
+					e := eventAt(confDims, 20000+i)
+					if err := u.Insert(origin, e); err != nil {
+						t.Fatalf("insert after repair: %v", err)
+					}
+				}
+			},
+			expect: everySystem(
+				expect{fullRecall: true, complete: true},
+				nil),
+		},
+		{
+			name: "beacon-detected-crash",
+			apply: func(t *testing.T, u *Universe) {
+				u.Detector.Start()
+				victim := u.MostLoaded()
+				if victim < 0 {
+					t.Fatal("no loaded node to crash")
+				}
+				crashAt := 3 * time.Second
+				if err := u.Sched.At(crashAt, func() { u.Engine.CrashNode(victim) }); err != nil {
+					t.Fatal(err)
+				}
+				horizon := crashAt + 3*u.Detector.Config().Timeout()
+				if err := u.Sched.RunUntil(horizon, 0); err != nil {
+					t.Fatal(err)
+				}
+				u.Detector.Stop()
+				if !u.Sys.Failed(victim) {
+					t.Fatal("beacon timeout never drove repair")
+				}
+				h := u.Engine.DetectionLatency()
+				if h.Total() != 1 {
+					t.Fatalf("detection latency samples = %d, want 1", h.Total())
+				}
+				if lat := time.Duration(h.Min()) * time.Millisecond; lat < u.Detector.Config().Interval {
+					t.Errorf("detection latency %v < one beacon period", lat)
+				}
+			},
+			// After emergent detection the service contract is the same as
+			// for a hand-detected crash.
+			expect: everySystem(
+				expect{minRecall: 0.5, complete: true},
+				map[string]expect{
+					"pool+repl": {fullRecall: true, complete: true},
+				}),
+		},
+	}
+}
+
+// TestConformance is the cross-system spec: every scenario against every
+// system flavour, each on a fresh deterministic universe.
+func TestConformance(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for _, sc := range scenarios() {
+				sc := sc
+				t.Run(sc.name, func(t *testing.T) {
+					u, err := BuildUniverse(f, confNodes, confEvents, confDims, confSeed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sc.apply(t, u)
+					sink := u.PickAlive()
+					if sink < 0 {
+						t.Fatal("no alive sink")
+					}
+					rep := u.RunQueries(sink)
+					for _, v := range rep.Violations {
+						t.Error(v)
+					}
+					want := sc.expect[f.Name]
+					if want.fullRecall && rep.MeanRecall() != 1 {
+						t.Errorf("mean recall = %.4f, want 1", rep.MeanRecall())
+					}
+					if rep.MeanRecall() < want.minRecall {
+						t.Errorf("mean recall = %.4f, want ≥ %.2f", rep.MeanRecall(), want.minRecall)
+					}
+					if want.complete && !rep.AllComplete() {
+						t.Errorf("only %d/%d queries fully served", rep.Complete, rep.Queries)
+					}
+					if want.incomplete && rep.AllComplete() {
+						t.Error("every query fully served; expected degraded service")
+					}
+					if want.retries && rep.Retries == 0 {
+						t.Error("no retries spent; failure policy never engaged")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestConformanceDeterministic pins reproducibility across the whole
+// harness: the same seed must yield byte-identical reports for the most
+// stateful scenario (beacon-driven detection) of every system.
+func TestConformanceDeterministic(t *testing.T) {
+	run := func(f Factory) Report {
+		u, err := BuildUniverse(f, confNodes, confEvents, confDims, confSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Detector.Start()
+		victim := u.MostLoaded()
+		if err := u.Sched.At(3*time.Second, func() { u.Engine.CrashNode(victim) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Sched.RunUntil(3*time.Second+3*u.Detector.Config().Timeout(), 0); err != nil {
+			t.Fatal(err)
+		}
+		u.Detector.Stop()
+		return u.RunQueries(u.PickAlive())
+	}
+	for _, f := range Factories() {
+		a, b := run(f), run(f)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same-seed runs diverge:\n%+v\n%+v", f.Name, a, b)
+		}
+	}
+}
