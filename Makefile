@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz chaos conformance cover-ght check bench golden
+.PHONY: build test vet race fuzz chaos conformance cover-ght cover-metrics smoke-bench check bench golden
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,12 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz smoke: random fault plans + queries must never panic or
-# over-report completeness.
+# over-report completeness, and the metrics exposition writer must stay
+# grammar-clean on arbitrary registries. go test accepts one -fuzz
+# target per invocation, hence the two runs.
 fuzz:
 	$(GO) test ./internal/chaos -run=NONE -fuzz=FuzzResolveUnderFaults -fuzztime=10s
+	$(GO) test ./internal/metrics -run=NONE -fuzz=FuzzExpositionWrite -fuzztime=10s
 
 # Race-enabled sweep of the chaos seeds (fault injection, churn
 # experiment, pool/dim repair paths).
@@ -42,12 +45,33 @@ cover-ght:
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
 		{ echo "internal/ght coverage $$total% below the 80% gate"; exit 1; }
 
-check: build vet race fuzz chaos conformance cover-ght
+# The metrics registry feeds every experiment table; hold its package
+# coverage at or above 80% like the GHT fault surface.
+cover-metrics:
+	$(GO) test -coverprofile=/tmp/metrics.cover ./internal/metrics
+	@total=$$($(GO) tool cover -func=/tmp/metrics.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/metrics coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/metrics coverage $$total% below the 80% gate"; exit 1; }
 
+# Quick benchmark smoke: the disabled-registry hot path must stay
+# allocation-free, and the exposition writer must run. Keeps `make
+# check` honest without the full bench sweep.
+smoke-bench:
+	$(GO) test ./internal/metrics -run=NONE -bench='DisabledHotPath|EnabledHotPath|SnapshotWrite' -benchmem -benchtime=100x
+
+check: build vet race fuzz chaos conformance cover-ght cover-metrics smoke-bench
+
+# Full benchmark sweep, archived as machine-readable JSON
+# (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/metrics 2>&1 \
+		| tee /tmp/bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json < /tmp/bench.out
+	@echo "wrote BENCH_$$(date +%F).json"
 
 # Regenerate golden files after an intentional behaviour change.
 golden:
 	$(GO) test ./cmd/poolsim -run Golden -update
 	$(GO) test ./cmd/pooltrace -run Golden -update
+	$(GO) test ./cmd/poolmon -run Golden -update

@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so benchmark runs can be archived and
+// diffed across commits (see `make bench`, which writes
+// BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson [-o report.json]
+//
+// Reads the benchmark stream on stdin. Context lines (goos, goarch,
+// pkg, cpu) are folded into the enclosing benchmarks; custom
+// ReportMetric units (e.g. "dim-msgs/query") land in the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	date := fs.String("date", time.Now().Format("2006-01-02"), "date stamped into the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Date = *date
+	rep.Go = runtime.Version()
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse consumes a `go test -bench` stream and collects the result
+// lines. Unknown lines (PASS, ok, test log output) are skipped.
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	var pkg string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			if b != nil {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench parses one result line of the form
+//
+//	BenchmarkName-8  100  123.4 ns/op  56 B/op  7 allocs/op  8.9 custom/unit
+//
+// A bare "BenchmarkName" line (the pre-announcement go test prints when
+// -v is set) has no fields and is skipped by returning nil.
+func parseBench(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	b := &Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	b.Iterations = iters
+
+	// The rest is (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit tail %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", rest[i])
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pooldcs
+cpu: Generic x86-64
+BenchmarkFig6aQueryCost/n=300-8         	       1	  51234567 ns/op	        41.20 dim-msgs/query	        12.30 pool-msgs/query
+BenchmarkTransmit-8   	 5000000	       231.4 ns/op	      48 B/op	       1 allocs/op
+PASS
+ok  	pooldcs	3.210s
+goos: linux
+goarch: amd64
+pkg: pooldcs/internal/metrics
+BenchmarkDisabledHotPath
+BenchmarkDisabledHotPath-8	1000000000	         0.7587 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pooldcs/internal/metrics	1.002s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Generic x86-64" {
+		t.Errorf("context lines mis-parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	fig := rep.Benchmarks[0]
+	if fig.Name != "BenchmarkFig6aQueryCost/n=300" || fig.Pkg != "pooldcs" || fig.Procs != 8 {
+		t.Errorf("fig6a header mis-parsed: %+v", fig)
+	}
+	if fig.NsPerOp != 51234567 || fig.Metrics["dim-msgs/query"] != 41.2 || fig.Metrics["pool-msgs/query"] != 12.3 {
+		t.Errorf("fig6a values mis-parsed: %+v", fig)
+	}
+
+	tx := rep.Benchmarks[1]
+	if tx.Iterations != 5000000 || tx.NsPerOp != 231.4 || *tx.BytesPerOp != 48 || *tx.AllocsPerOp != 1 {
+		t.Errorf("transmit values mis-parsed: %+v", tx)
+	}
+
+	hot := rep.Benchmarks[2]
+	if hot.Pkg != "pooldcs/internal/metrics" || hot.NsPerOp != 0.7587 || *hot.AllocsPerOp != 0 {
+		t.Errorf("hot-path values mis-parsed: %+v", hot)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-o", path, "-date", "2026-08-05"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON written: %v", err)
+	}
+	if rep.Date != "2026-08-05" || rep.Go == "" || len(rep.Benchmarks) != 3 {
+		t.Errorf("report fields wrong: date=%q go=%q n=%d", rep.Date, rep.Go, len(rep.Benchmarks))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"stray"}, strings.NewReader(""), &out); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 12 ns/op\n")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBroken-8 10 12\n")); err == nil {
+		t.Error("odd value/unit tail accepted")
+	}
+}

@@ -1,0 +1,250 @@
+// Command poolmon runs an instrumented Pool deployment on the
+// discrete-event kernel and reports its live metrics: per-node counters,
+// hotspot and load-balance analytics, sampled time series, and
+// Prometheus/JSON exports.
+//
+// The monitored run drives the full stack: the synchronous pool.System
+// answers the range-query workload (splitter load, query fan-out), the
+// asynchronous actor engine executes the same workload as real message
+// exchanges (mailbox depth, in-flight operations), the discovery beacon
+// protocol runs throughout, and an optional churn plan crashes part of
+// the deployment while the chaos engine repairs around it. Every number
+// shown is read from one metrics.Registry sampled at -tick.
+//
+// Usage:
+//
+//	poolmon [flags]
+//
+// Flags:
+//
+//	-n N          deployment size (default 300)
+//	-seed N       random seed (default 42)
+//	-dims K       event dimensionality (default 3)
+//	-events N     events per node (default 3)
+//	-queries N    range queries spread over the horizon (default 40)
+//	-churn PCT    percent of nodes crashed across the horizon (default 0)
+//	-horizon D    virtual run time (default 30s)
+//	-tick D       sampling period (default 1s)
+//	-top K        rows in the hotspot tables (default 5)
+//	-format F     text | prom | json (default text)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"pooldcs/internal/chaos"
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/discovery"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
+	"pooldcs/internal/network"
+	"pooldcs/internal/node"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+	"pooldcs/internal/texttable"
+	"pooldcs/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "poolmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("poolmon", flag.ContinueOnError)
+	n := fs.Int("n", 300, "deployment size")
+	seed := fs.Int64("seed", 42, "random seed")
+	dims := fs.Int("dims", 3, "event dimensionality")
+	events := fs.Int("events", 3, "events per node")
+	queries := fs.Int("queries", 40, "range queries spread over the horizon")
+	churn := fs.Int("churn", 0, "percent of nodes crashed across the horizon")
+	horizon := fs.Duration("horizon", 30*time.Second, "virtual run time")
+	tick := fs.Duration("tick", time.Second, "sampling period")
+	top := fs.Int("top", 5, "rows in the hotspot tables")
+	format := fs.String("format", "text", "output format: text, prom, or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *tick <= 0 || *horizon <= 0 {
+		return fmt.Errorf("tick and horizon must be positive")
+	}
+	if *churn < 0 || *churn > 90 {
+		return fmt.Errorf("churn %d%% outside [0, 90]", *churn)
+	}
+
+	reg := metrics.New()
+	src := rng.New(*seed)
+	layout, err := field.Generate(field.DefaultSpec(*n), src.Fork("layout"))
+	if err != nil {
+		return err
+	}
+	sched := sim.NewScheduler()
+	net := network.New(layout, network.WithMetrics(reg))
+	router := gpsr.New(layout)
+	sys, err := pool.New(net, router, *dims, src.Fork("pivots"), pool.WithMetrics(reg))
+	if err != nil {
+		return err
+	}
+	// The actor engine shares the pool layout so both implementations
+	// observe the same cells.
+	var pivots []pool.CellID
+	for _, p := range sys.Pools() {
+		pivots = append(pivots, p.Pivot)
+	}
+	actors, err := node.NewEngine(net, router, sched, *dims, src.Fork("actors"), pivots)
+	if err != nil {
+		return err
+	}
+	actors.EnableMetrics(reg)
+	disc := discovery.New(net, sched, src.Fork("beacons"), discovery.Config{})
+	disc.EnableMetrics(reg)
+	engine := chaos.NewEngine(sched, net, router, []chaos.System{sys},
+		chaos.WithFailureDetection(disc), chaos.WithMetrics(reg))
+	if *churn > 0 {
+		plan := chaos.RandomChurn(src.Fork("churn"), *n, float64(*churn)/100, 0.25, *horizon)
+		if err := engine.Schedule(plan); err != nil {
+			return err
+		}
+	}
+
+	// Inserts spread over the first half of the horizon, queries over the
+	// second; both run through the synchronous system and the actor
+	// engine, so the protocol counters and the mailbox gauges move
+	// together. Operations hitting crashed nodes degrade instead of
+	// aborting the run — that is exactly what the drop and error counters
+	// are there to show.
+	gen := workload.NewUniformEvents(src.Fork("events"), *dims)
+	totalEvents := *n * *events
+	half := *horizon / 2
+	var fatal error
+	for i := 0; i < totalEvents; i++ {
+		at := time.Duration(float64(i) / float64(totalEvents) * float64(half))
+		origin, ev := i%*n, gen.Next()
+		if err := sched.At(at, func() {
+			if err := sys.Insert(origin, ev); err != nil && !dcs.Degradable(err) && fatal == nil {
+				fatal = err
+			}
+			if err := actors.Insert(origin, ev, nil); err != nil && fatal == nil {
+				fatal = err
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	qgen := workload.NewQueries(src.Fork("queries"), *dims)
+	sinkSrc := src.Fork("sinks")
+	for i := 0; i < *queries; i++ {
+		at := half + time.Duration(float64(i)/float64(*queries)*float64(half))
+		sink, q := sinkSrc.Intn(*n), qgen.ExactMatch(workload.ExponentialSizes)
+		if err := sched.At(at, func() {
+			for engine.Down(sink) {
+				sink = (sink + 1) % *n
+			}
+			if _, _, err := sys.QueryWithReport(sink, q); err != nil && fatal == nil {
+				fatal = err
+			}
+			if err := actors.Query(sink, q, nil); err != nil && fatal == nil {
+				fatal = err
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	stop := reg.StartSampling(sched, *tick)
+	disc.Start()
+	if err := sched.At(*horizon, func() {
+		stop()
+		disc.Stop()
+	}); err != nil {
+		return err
+	}
+	sched.Run()
+	if fatal != nil {
+		return fatal
+	}
+
+	switch *format {
+	case "prom":
+		_, err := reg.Snapshot().WriteTo(out)
+		return err
+	case "json":
+		return reg.Snapshot().WriteJSON(out)
+	case "text":
+		return renderText(out, reg, *n, *churn, *horizon, *top)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// renderText prints the human-readable report: family values, balance
+// analytics, hotspot tables, and sampled series.
+func renderText(out io.Writer, reg *metrics.Registry, n, churn int, horizon time.Duration, top int) error {
+	fmt.Fprintf(out, "poolmon: %d-node Pool deployment, horizon %v, churn %d%%\n\n", n, horizon, churn)
+
+	snap := reg.Snapshot()
+	families := texttable.New("Metric families (scalar reductions)", "Family", "Kind", "Value")
+	for _, f := range snap.Families {
+		families.AddRow(f.Name, f.Kind, formatScalar(reg.Value(f.Name)))
+	}
+	fmt.Fprintln(out, families.String())
+
+	balance := texttable.New("Load balance (per-node vectors)", "Vector", "Gini", "CoV", "Max", "Top share%")
+	for _, name := range []string{"pool_stored_events", "node_stored_events", "net_tx_frames_total", "net_node_energy_joules"} {
+		loads := reg.NodeValues(name)
+		if loads == nil {
+			continue
+		}
+		b := metrics.Analyze(loads)
+		balance.AddRow(name,
+			texttable.Float(b.Gini, 3),
+			texttable.Float(b.CoV, 2),
+			formatScalar(b.Max),
+			texttable.Float(b.TopShare*100, 1))
+	}
+	fmt.Fprintln(out, balance.String())
+
+	for _, name := range []string{"pool_stored_events", "net_tx_frames_total"} {
+		loads := reg.NodeValues(name)
+		if loads == nil {
+			continue
+		}
+		hot := texttable.New(fmt.Sprintf("Hotspots: %s", name), "Rank", "Node", "Load", "Share%")
+		for i, h := range metrics.TopK(loads, top) {
+			hot.AddRow(texttable.Int(i+1), texttable.Int(h.Node),
+				formatScalar(h.Load), texttable.Float(h.Share*100, 1))
+		}
+		fmt.Fprintln(out, hot.String())
+	}
+
+	series := texttable.New("Sampled series", "Series", "Points", "First", "Last", "Min", "Mean", "Max", "Trend")
+	for _, s := range reg.Summaries(16) {
+		series.AddRow(s.Name, texttable.Int(s.Points),
+			formatScalar(s.First), formatScalar(s.Last),
+			formatScalar(s.Min), texttable.Float(s.Mean, 1), formatScalar(s.Max),
+			s.Spark)
+	}
+	fmt.Fprintln(out, series.String())
+	return nil
+}
+
+// formatScalar renders a metric value compactly: integers without a
+// fraction, everything else with three significant decimals.
+func formatScalar(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden runs poolmon with args and compares against testdata/<name>.golden.
+func golden(t *testing.T, name string, args []string) {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGolden locks the exact monitoring report of a seeded run, with and
+// without churn. Regenerate intentionally with:
+//
+//	go test ./cmd/poolmon -run Golden -update
+func TestGolden(t *testing.T) {
+	golden(t, "quiet", []string{"-n", "300", "-queries", "20"})
+	golden(t, "churn", []string{"-n", "300", "-queries", "20", "-churn", "10"})
+}
+
+func TestPromFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "5", "-format", "prom"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# TYPE net_tx_frames_total counter",
+		"# TYPE pool_query_fanout_cells summary",
+		`net_tx_frames_total{node="0"}`,
+		"pool_query_fanout_cells_count",
+		"# TYPE node_mailbox_depth gauge",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+	// Every line must match the exposition grammar.
+	line := regexp.MustCompile(`^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})?(_sum|_count)? [^ ]+)$`)
+	for _, l := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if !line.MatchString(l) {
+			t.Errorf("bad exposition line: %q", l)
+		}
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "5", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range doc.Families {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"net_tx_frames_total", "pool_stored_events", "discovery_beacons_total", "node_stored_events"} {
+		if !names[want] {
+			t.Errorf("json export missing family %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-tick", "0s"}, &out); err == nil {
+		t.Error("zero tick accepted")
+	}
+	if err := run([]string{"-churn", "95"}, &out); err == nil {
+		t.Error("out-of-range churn accepted")
+	}
+	if err := run([]string{"stray"}, &out); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if err := run([]string{"-nosuchflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

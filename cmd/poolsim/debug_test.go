@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugServer exercises the -debug-addr endpoints end to end: a
+// run with the flag serves the process metrics and the pprof index
+// over real HTTP, and the recorded counters reflect the experiments
+// that ran.
+func TestDebugServer(t *testing.T) {
+	dbg, err := newDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.close()
+
+	dbg.record(12*time.Millisecond, false)
+	dbg.record(5*time.Millisecond, true)
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	body := get("/metrics")
+	for _, want := range []string{
+		"# TYPE poolsim_experiments_total counter",
+		"poolsim_experiments_total 2",
+		"poolsim_experiment_failures_total 1",
+		"poolsim_experiment_duration_ms_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%.200s", idx)
+	}
+	if prof := get("/debug/pprof/symbol"); prof == "" {
+		t.Error("pprof symbol endpoint returned nothing")
+	}
+}
+
+// TestDebugServerViaRun checks the flag is plumbed through run() and a
+// nil server (flag unset) is a no-op.
+func TestDebugServerViaRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-debug-addr", "127.0.0.1:0", "pointquery"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Point-query") && out.Len() == 0 {
+		t.Error("experiment produced no output")
+	}
+
+	var nilDbg *debugServer
+	nilDbg.record(time.Millisecond, false) // must not panic
+}

@@ -25,6 +25,7 @@ func TestGolden(t *testing.T) {
 		{"insert", []string{"-quick", "insert"}},
 		{"pointquery", []string{"-quick", "pointquery"}},
 		{"churn", []string{"-quick", "churn"}},
+		{"loadbalance", []string{"-quick", "loadbalance"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -6,9 +6,9 @@
 //	poolsim [flags] <experiment>...
 //
 // Experiments: fig6a, fig6b, fig7a, fig7b, insert, hotspot, poolsize,
-// pointquery, aggregate, energy, fragmentation, dissemination,
-// resilience, churn, dimsweep, variance, placement, eventload, latency,
-// asynclatency, lossy, all.
+// pointquery, aggregate, energy, loadbalance, fragmentation,
+// dissemination, resilience, churn, dimsweep, variance, placement,
+// eventload, latency, asynclatency, lossy, all.
 //
 // Flags:
 //
@@ -17,6 +17,7 @@
 //	-sizes LIST  comma-separated network sizes for the fig6 sweeps
 //	-quick       fewer queries, smaller sweep (smoke run)
 //	-format F    text | csv | markdown (default text)
+//	-debug-addr A  serve net/http/pprof and Prometheus /metrics on A while running
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pooldcs/internal/experiment"
 	"pooldcs/internal/workload"
@@ -60,6 +62,7 @@ var experiments = map[string]runner{
 	"pointquery":    experiment.PointQuery,
 	"aggregate":     experiment.Aggregates,
 	"energy":        experiment.Energy,
+	"loadbalance":   experiment.LoadBalance,
 	"dissemination": experiment.Dissemination,
 	"dimsweep": func(cfg experiment.Config) (*experiment.Result, error) {
 		return experiment.DimSweep(cfg, []int{2, 3, 4, 5})
@@ -89,7 +92,7 @@ var experiments = map[string]runner{
 var order = []string{
 	"fig6a", "fig6b", "fig7a", "fig7b",
 	"insert", "hotspot", "poolsize", "pointquery", "aggregate",
-	"energy", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
+	"energy", "loadbalance", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
 }
 
 func run(args []string, out io.Writer) error {
@@ -99,6 +102,7 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "", "comma-separated network sizes for the fig6 sweeps (default 300,600,900,1200)")
 	quick := fs.Bool("quick", false, "smoke run: fewer queries per point")
 	format := fs.String("format", "text", "output format: text, csv, or markdown")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,12 +131,24 @@ func run(args []string, out io.Writer) error {
 		cfg.NetworkSizes = parsed
 	}
 
+	var dbg *debugServer
+	if *debugAddr != "" {
+		var err error
+		if dbg, err = newDebugServer(*debugAddr); err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.close()
+		fmt.Fprintf(os.Stderr, "poolsim: debug server on http://%s (/metrics, /debug/pprof/)\n", dbg.addr())
+	}
+
 	for _, name := range names {
 		r, ok := experiments[name]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; choose from: %s, all", name, strings.Join(order, ", "))
 		}
+		start := time.Now()
 		res, err := r(cfg)
+		dbg.record(time.Since(start), err != nil)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

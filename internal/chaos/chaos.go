@@ -17,6 +17,7 @@ import (
 
 	"pooldcs/internal/geo"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
@@ -210,6 +211,38 @@ func WithTracer(t *trace.Tracer) EngineOption {
 // (default a fixed-seed source, so plans stay deterministic without it).
 func WithBurstSource(src *rng.Source) EngineOption {
 	return engineOption(func(e *Engine) { e.burstSrc = src })
+}
+
+// WithMetrics registers the engine's live metrics on reg:
+// function-backed counters over crashes, recoveries, bursts, and repair
+// errors, a nodes-down gauge, and the detection-latency histogram shared
+// with DetectionLatency — one distribution, two views. A nil registry
+// attaches nothing.
+func WithMetrics(reg *metrics.Registry) EngineOption {
+	return engineOption(func(e *Engine) {
+		if reg == nil {
+			return
+		}
+		reg.CounterFunc("chaos_crashes_total", "node crashes executed",
+			func() float64 { return float64(e.crashes) })
+		reg.CounterFunc("chaos_recoveries_total", "node recoveries executed",
+			func() float64 { return float64(e.recoveries) })
+		reg.CounterFunc("chaos_bursts_total", "regional loss bursts opened",
+			func() float64 { return float64(e.bursts) })
+		reg.CounterFunc("chaos_repair_errors_total", "storage repairs that found no survivor",
+			func() float64 { return float64(len(e.errs)) })
+		reg.GaugeFunc("chaos_nodes_down", "nodes the engine currently holds down", func() float64 {
+			var down float64
+			for _, d := range e.down {
+				if d {
+					down++
+				}
+			}
+			return down
+		})
+		reg.HistogramOf("chaos_detection_latency_ms", "crash-to-suspicion gap through the failure detector",
+			e.detectHist)
+	})
 }
 
 // WithFailureDetection routes crash teardown through a failure-detection

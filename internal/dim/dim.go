@@ -8,6 +8,7 @@ import (
 	"pooldcs/internal/field"
 	"pooldcs/internal/geo"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/trace"
 )
@@ -88,6 +89,13 @@ func WithARQBudget(n int) Option {
 	return optionFunc(func(s *System) { s.arq = dcs.TxOptions{MaxRetransmissions: n} })
 }
 
+// WithMetrics registers DIM's live metrics on reg: insert/query
+// counters, the per-query zone fan-out histogram, and a function-backed
+// per-node stored-events gauge. A nil registry attaches nothing.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(s *System) { s.reg = reg })
+}
+
 // System is a DIM instance over one network.
 type System struct {
 	net    *network.Network
@@ -111,6 +119,13 @@ type System struct {
 
 	// dead marks failed nodes (faults.go).
 	dead []bool
+
+	// Metric handles (nil when no registry is attached).
+	reg      *metrics.Registry
+	mInserts *metrics.Counter
+	mQueries *metrics.Counter
+	mRetries *metrics.Counter
+	mFanout  *metrics.Histogram
 }
 
 var _ dcs.System = (*System)(nil)
@@ -134,7 +149,23 @@ func New(net *network.Network, router *gpsr.Router, dims int, opts ...Option) (*
 		o.apply(s)
 	}
 	s.buildZones()
+	if s.reg != nil {
+		s.enableMetrics(s.reg)
+	}
 	return s, nil
+}
+
+// enableMetrics registers the system's metric families (WithMetrics).
+func (s *System) enableMetrics(reg *metrics.Registry) {
+	n := s.net.Layout().N()
+	s.mInserts = reg.Counter("dim_inserts_total", "events stored through DIM")
+	s.mQueries = reg.Counter("dim_queries_total", "range queries resolved by DIM")
+	s.mRetries = reg.Counter("dim_query_retries_total", "extra unicasts spent by the query failure policy")
+	s.mFanout = reg.Histogram("dim_query_fanout_zones", "relevant zones addressed per query")
+	reg.NodeGaugeFunc("dim_stored_events", "events held per node", n,
+		func(i int) float64 { return float64(len(s.storage[i])) })
+	reg.GaugeFunc("dim_zones", "leaves of the zone subdivision",
+		func() float64 { return float64(len(s.zones)) })
 }
 
 // unicast routes a payload between two nodes, applying the system's ARQ
@@ -243,6 +274,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 		return fmt.Errorf("dim: insert: %w", err)
 	}
 	s.storage[z.Owner] = append(s.storage[z.Owner], e)
+	s.mInserts.Inc()
 	return nil
 }
 
@@ -384,6 +416,9 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 			comp.Unreached = append(comp.Unreached, fmt.Sprintf("zone %v", v.zone.Code))
 		}
 	}
+	s.mQueries.Inc()
+	s.mFanout.Observe(int64(comp.CellsTotal))
+	s.mRetries.Add(uint64(comp.Retries))
 	return results, comp, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
@@ -84,6 +85,11 @@ type Protocol struct {
 	onSuspect func(id int)
 	// stopped ends the beacon loops.
 	stopped bool
+
+	// Metric handles (nil until EnableMetrics).
+	mBeacons    *metrics.Counter
+	mSuspicions *metrics.Counter
+	mEvictions  *metrics.Counter
 }
 
 // New prepares the protocol over a network and scheduler.
@@ -108,6 +114,27 @@ func New(net *network.Network, sched *sim.Scheduler, src *rng.Source, cfg Config
 
 // Config returns the effective configuration (defaults applied).
 func (p *Protocol) Config() Config { return p.cfg }
+
+// EnableMetrics registers the protocol's live metrics on reg: beacon,
+// suspicion, and eviction counters plus a function-backed gauge over
+// currently suspected nodes. A nil registry is a no-op.
+func (p *Protocol) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mBeacons = reg.Counter("discovery_beacons_total", "beacon broadcasts sent")
+	p.mSuspicions = reg.Counter("discovery_suspicions_total", "suspicion episodes raised")
+	p.mEvictions = reg.Counter("discovery_evictions_total", "neighbour-table evictions on beacon timeout")
+	reg.GaugeFunc("discovery_suspected_nodes", "nodes currently under suspicion", func() float64 {
+		var n float64
+		for _, s := range p.suspected {
+			if s {
+				n++
+			}
+		}
+		return n
+	})
+}
 
 // Start schedules the first beacon of every node. Call sched.RunUntil to
 // advance the protocol.
@@ -170,6 +197,7 @@ func (p *Protocol) beacon(id int, ep uint64) {
 		return
 	}
 	now := p.sched.Now()
+	p.mBeacons.Inc()
 	for _, nbr := range p.net.Broadcast(id, network.KindControl, p.cfg.PayloadBytes) {
 		p.lastHeard[nbr][id] = now
 	}
@@ -199,10 +227,12 @@ func (p *Protocol) sweep(id int, now time.Duration) {
 	sort.Ints(stale)
 	for _, nbr := range stale {
 		delete(p.lastHeard[id], nbr)
+		p.mEvictions.Inc()
 		if p.suspected[nbr] {
 			continue
 		}
 		p.suspected[nbr] = true
+		p.mSuspicions.Inc()
 		if p.onSuspect != nil {
 			p.onSuspect(nbr)
 		}

@@ -10,8 +10,10 @@ import (
 	"pooldcs/internal/discovery"
 	"pooldcs/internal/event"
 	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
 	"pooldcs/internal/ght"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
@@ -23,6 +25,12 @@ import (
 
 // churnHorizon is the virtual time one churn row simulates.
 const churnHorizon = 60 * time.Second
+
+// burstLossRate is the per-frame drop probability inside a loss-burst
+// window of the churn plan. Kept below the level where a single
+// multi-hop unicast is more likely than not to lose a frame, so the
+// one-retry ARQ policy still carries mirrored queries over the bar.
+const burstLossRate = 0.3
 
 // churnBeaconInterval is the discovery beacon period driving failure
 // detection. A crash stays undetected until its neighbours miss enough
@@ -42,6 +50,7 @@ type churnUniverse struct {
 	}
 	disc   *discovery.Protocol
 	engine *chaos.Engine
+	reg    *metrics.Registry
 
 	sumRecall float64
 	sumComp   float64
@@ -69,7 +78,7 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		"Repl recall", "Repl compl", "Repl msgs",
 		"DIM recall", "DIM compl", "DIM msgs",
 		"GHT recall", "GHT compl", "GHT msgs",
-		"Detect p50 ms", "Detect p95 ms")
+		"Detect p50 ms", "Detect p95 ms", "Drops")
 
 	for _, pct := range churnPcts {
 		n := cfg.PartialSize
@@ -80,43 +89,45 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		}
 		sched := sim.NewScheduler()
 
-		build := func(name string, mk func(net *network.Network, router *gpsr.Router) (chaos.System, error)) (*churnUniverse, error) {
-			net := network.New(layout)
+		build := func(name string, mk func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error)) (*churnUniverse, error) {
+			reg := metrics.New()
+			net := network.New(layout, network.WithMetrics(reg))
 			router := gpsr.New(layout)
-			sys, err := mk(net, router)
+			sys, err := mk(net, router, reg)
 			if err != nil {
 				return nil, err
 			}
-			u := &churnUniverse{net: net, router: router}
+			u := &churnUniverse{net: net, router: router, reg: reg}
 			u.sys = sys.(interface {
 				QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
 			})
 			u.disc = discovery.New(net, sched, src.Fork("beacons-"+name),
 				discovery.Config{Interval: churnBeaconInterval})
+			u.disc.EnableMetrics(reg)
 			u.engine = chaos.NewEngine(sched, net, router, []chaos.System{sys},
-				chaos.WithFailureDetection(u.disc))
+				chaos.WithFailureDetection(u.disc), chaos.WithMetrics(reg))
 			return u, nil
 		}
-		plain, err := build("plain", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
-			return pool.New(net, router, cfg.Dims, src.Fork("pivots-plain"))
+		plain, err := build("plain", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			return pool.New(net, router, cfg.Dims, src.Fork("pivots-plain"), pool.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		repl, err := build("repl", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
-			return pool.New(net, router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication())
+		repl, err := build("repl", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			return pool.New(net, router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication(), pool.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		dimU, err := build("dim", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
-			return dim.New(net, router, cfg.Dims)
+		dimU, err := build("dim", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			return dim.New(net, router, cfg.Dims, dim.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		ghtU, err := build("ght", func(net *network.Network, router *gpsr.Router) (chaos.System, error) {
-			return ght.New(net, router), nil
+		ghtU, err := build("ght", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			return ght.New(net, router, ght.WithMetrics(reg)), nil
 		})
 		if err != nil {
 			return nil, err
@@ -142,13 +153,15 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			}
 		}
 
-		// The same fault plan hits every universe.
+		// The same fault plan hits every universe. Loss bursts ride on the
+		// crash plan in proportion to the churn rate — every 5 points of
+		// churn open one regional window eating burstLossRate of the frames
+		// that cross it. A frame's drop draw is keyed to its link and its
+		// ordinal on that link (iteration-order stable), so identical plans
+		// produce identical drop patterns in every universe no matter how
+		// their traffic interleaves with the beacons. The bursts fork is
+		// drawn last to leave the older streams untouched.
 		plan := chaos.RandomChurn(src.Fork("churn"), n, float64(pct)/100, 0.25, churnHorizon)
-		for _, u := range universes {
-			if err := u.engine.Schedule(plan); err != nil {
-				return nil, err
-			}
-		}
 
 		// Queries fire at random times across the horizon, interleaved
 		// with the faults. Pool and DIM resolve the range query; GHT, the
@@ -156,6 +169,19 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 		qsrc := src.Fork("query-times")
 		gsrc := src.Fork("ght-picks")
+
+		bsrc := src.Fork("bursts")
+		for b := 0; b < pct/5; b++ {
+			at := time.Duration(bsrc.Float64() * 0.8 * float64(churnHorizon))
+			cx, cy := bsrc.Uniform(0, layout.Side), bsrc.Uniform(0, layout.Side)
+			r := layout.Side * 0.1
+			plan.Burst(at, geo.RectFromCorners(geo.Pt(cx-r, cy-r), geo.Pt(cx+r, cy+r)), burstLossRate, churnHorizon/10)
+		}
+		for _, u := range universes {
+			if err := u.engine.Schedule(plan); err != nil {
+				return nil, err
+			}
+		}
 		var queryErr error
 		for qi := 0; qi < cfg.Queries; qi++ {
 			at := time.Duration(qsrc.Float64() * float64(churnHorizon))
@@ -222,9 +248,18 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				texttable.Float(u.sumComp/nq, 3),
 				texttable.Float(float64(u.msgs)/nq, 1))
 		}
+		// Frames lost on the air across all four universes — burst losses
+		// plus frames sent into undetected corpses — read back through the
+		// per-universe registries (the same net_dropped_frames_total family
+		// the exposition endpoint serves).
+		var drops float64
+		for _, u := range universes {
+			drops += u.reg.Value("net_dropped_frames_total")
+		}
 		row = append(row,
 			texttable.Int(int(detect.Quantile(50))),
-			texttable.Int(int(detect.Quantile(95))))
+			texttable.Int(int(detect.Quantile(95))),
+			texttable.Int(int(drops)))
 		table.AddRow(row...)
 	}
 	return &Result{ID: "ablation-churn", Title: title, Table: table}, nil

@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"pooldcs/internal/event"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
-	"pooldcs/internal/stats"
 	"pooldcs/internal/texttable"
 	"pooldcs/internal/workload"
 )
@@ -17,13 +17,16 @@ import (
 // the Gini coefficient of the per-node energy distribution. Energy
 // hotspots are what ultimately kill a sensor network (§1's fourth design
 // issue), so this quantifies the claim behind the workload-sharing
-// machinery.
+// machinery. The per-node vectors are read back through each system's
+// metrics registry — the same net_node_energy_joules family poolmon
+// exports — rather than from the network directly.
 func Energy(cfg Config) (*Result, error) {
 	title := fmt.Sprintf("Radio energy footprint, N=%d (insert + %d queries)", cfg.PartialSize, cfg.Queries)
 	table := texttable.New(title, "System", "TotalJ", "MaxNode mJ", "Gini")
 
 	src := rng.New(cfg.Seed + 9500)
-	env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
+	poolReg, dimReg := metrics.New(), metrics.New()
+	env, err := NewInstrumentedEnv(cfg.PartialSize, cfg.Dims, src, poolReg, dimReg)
 	if err != nil {
 		return nil, err
 	}
@@ -41,24 +44,15 @@ func Energy(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	addRow := func(name string, net *network.Network) {
-		energies := net.NodeEnergies()
-		var total, max float64
-		loads := make([]int, len(energies))
-		for i, e := range energies {
-			total += e
-			if e > max {
-				max = e
-			}
-			loads[i] = int(e * 1e6) // µJ resolution for the Gini computation
-		}
+	addRow := func(name string, reg *metrics.Registry) {
+		b := metrics.Analyze(reg.NodeValues("net_node_energy_joules"))
 		table.AddRow(name,
-			texttable.Float(total, 3),
-			texttable.Float(max*1e3, 2),
-			texttable.Float(stats.Gini(loads), 3))
+			texttable.Float(reg.Value("net_energy_joules"), 3),
+			texttable.Float(b.Max*1e3, 2),
+			texttable.Float(b.Gini, 3))
 	}
-	addRow("DIM", env.DIMNet)
-	addRow("Pool", env.PoolNet)
+	addRow("DIM", dimReg)
+	addRow("Pool", poolReg)
 	return &Result{ID: "ablation-energy", Title: title, Table: table}, nil
 }
 

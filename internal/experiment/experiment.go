@@ -13,6 +13,7 @@ import (
 	"pooldcs/internal/event"
 	"pooldcs/internal/field"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
@@ -87,18 +88,28 @@ type Env struct {
 
 // NewEnv builds a connected deployment of n nodes and both systems.
 func NewEnv(n, dims int, src *rng.Source, poolOpts ...pool.Option) (*Env, error) {
+	return NewInstrumentedEnv(n, dims, src, nil, nil, poolOpts...)
+}
+
+// NewInstrumentedEnv is NewEnv with a metrics registry attached to each
+// system and its network (nil registries attach nothing). Experiments
+// that report per-node aggregates read them back through the same
+// registry families the monitoring surface exports, so the tables and
+// the exports cannot drift apart.
+func NewInstrumentedEnv(n, dims int, src *rng.Source, poolReg, dimReg *metrics.Registry, poolOpts ...pool.Option) (*Env, error) {
 	layout, err := field.Generate(field.DefaultSpec(n), src.Fork("layout"))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	router := gpsr.New(layout)
-	poolNet := network.New(layout)
-	dimNet := network.New(layout)
-	p, err := pool.New(poolNet, router, dims, src.Fork("pivots"), poolOpts...)
+	poolNet := network.New(layout, network.WithMetrics(poolReg))
+	dimNet := network.New(layout, network.WithMetrics(dimReg))
+	popts := append([]pool.Option{pool.WithMetrics(poolReg)}, poolOpts...)
+	p, err := pool.New(poolNet, router, dims, src.Fork("pivots"), popts...)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	d, err := dim.New(dimNet, router, dims)
+	d, err := dim.New(dimNet, router, dims, dim.WithMetrics(dimReg))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}

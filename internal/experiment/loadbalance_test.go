@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadBalanceQuick locks the paper's balance claim: under a skewed
+// event distribution Pool's storage imbalance (Gini and CoV) stays
+// below DIM's, and the §4.2 workload-sharing mechanism pushes it down
+// further.
+func TestLoadBalanceQuick(t *testing.T) {
+	cfg := Quick()
+	res, err := LoadBalance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseRows(t, res)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	byName := map[string][]string{}
+	for _, r := range rows {
+		switch {
+		case r[0] == "DIM":
+			byName["dim"] = r
+		case r[0] == "Pool":
+			byName["pool"] = r
+		case strings.HasPrefix(r[0], "Pool+sharing"):
+			byName["shared"] = r
+		}
+	}
+	for _, k := range []string{"dim", "pool", "shared"} {
+		if byName[k] == nil {
+			t.Fatalf("missing %s row in %v", k, rows)
+		}
+	}
+	const (
+		storeGini = 1
+		storeCoV  = 2
+		storeTop  = 3
+	)
+	for _, col := range []int{storeGini, storeCoV} {
+		dim := cellFloat(t, byName["dim"][col])
+		pool := cellFloat(t, byName["pool"][col])
+		shared := cellFloat(t, byName["shared"][col])
+		if pool >= dim {
+			t.Errorf("col %d: Pool %v not below DIM %v", col, pool, dim)
+		}
+		if shared >= pool {
+			t.Errorf("col %d: Pool+sharing %v not below plain Pool %v", col, shared, pool)
+		}
+	}
+	// Gini is a [0,1] statistic; the skewed workload must concentrate
+	// DIM hard (storage lands on the few nodes owning the hot region).
+	if g := cellFloat(t, byName["dim"][storeGini]); g < 0.9 || g > 1 {
+		t.Errorf("DIM storage Gini %v, want heavy concentration in [0.9, 1]", g)
+	}
+	// Workload sharing must also slash the heaviest node's share.
+	if d, s := cellFloat(t, byName["dim"][storeTop]), cellFloat(t, byName["shared"][storeTop]); s >= d/2 {
+		t.Errorf("sharing top share %v%% not well below DIM's %v%%", s, d)
+	}
+}
+
+// TestLoadBalanceDeterministic: same seed, same table.
+func TestLoadBalanceDeterministic(t *testing.T) {
+	cfg := Quick()
+	a, err := LoadBalance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBalance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different tables:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"pooldcs/internal/event"
 	"pooldcs/internal/geo"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 )
 
@@ -47,6 +48,14 @@ func WithStructuredReplication(depth int) Option {
 	return optionFunc(func(s *System) { s.replDepth = depth })
 }
 
+// WithMetrics registers GHT's live metrics on reg: insert/query
+// counters, the per-query mirror fan-out histogram, and a
+// function-backed per-node stored-events gauge. A nil registry attaches
+// nothing.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(s *System) { s.reg = reg })
+}
+
 // System is a GHT instance over one network.
 type System struct {
 	net    *network.Network
@@ -63,6 +72,13 @@ type System struct {
 	homes map[geo.Point]int
 	// dead marks failed nodes (faults.go).
 	dead []bool
+
+	// Metric handles (nil when no registry is attached).
+	reg      *metrics.Registry
+	mInserts *metrics.Counter
+	mQueries *metrics.Counter
+	mRetries *metrics.Counter
+	mFanout  *metrics.Histogram
 }
 
 var _ dcs.System = (*System)(nil)
@@ -80,7 +96,21 @@ func New(net *network.Network, router *gpsr.Router, opts ...Option) *System {
 	for _, o := range opts {
 		o.apply(s)
 	}
+	if s.reg != nil {
+		s.enableMetrics(s.reg)
+	}
 	return s
+}
+
+// enableMetrics registers the system's metric families (WithMetrics).
+func (s *System) enableMetrics(reg *metrics.Registry) {
+	n := s.net.Layout().N()
+	s.mInserts = reg.Counter("ght_inserts_total", "events stored through GHT")
+	s.mQueries = reg.Counter("ght_queries_total", "exact-match queries resolved by GHT")
+	s.mRetries = reg.Counter("ght_query_retries_total", "extra unicasts spent by the query failure policy")
+	s.mFanout = reg.Histogram("ght_query_fanout_mirrors", "mirror homes addressed per query")
+	reg.NodeGaugeFunc("ght_stored_events", "events held per home node", n,
+		func(i int) float64 { return float64(len(s.storage[i])) })
 }
 
 // MirrorPoints returns the structured-replication images of a root point:
@@ -170,6 +200,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 		return fmt.Errorf("ght: insert: %w", err)
 	}
 	s.storage[home] = append(s.storage[home], e)
+	s.mInserts.Inc()
 	return nil
 }
 
@@ -270,6 +301,9 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 		}
 		comp.CellsReached++
 	}
+	s.mQueries.Inc()
+	s.mFanout.Observe(int64(comp.CellsTotal))
+	s.mRetries.Add(uint64(comp.Retries))
 	return matches, comp, nil
 }
 

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Load-balance analytics — the derived statistics the paper's §5
+// comparison is built on. The inputs are per-node load vectors (stored
+// events, tx+rx frames, energy) read from a registry's NodeValues or a
+// snapshot's Values.
+
+// Gini returns the Gini coefficient of a load vector: 0 when every node
+// carries the same load, approaching 1 as load concentrates on a single
+// node. Negative loads are not meaningful for load vectors and are
+// clamped to 0; an empty or all-zero vector ginis to 0.
+func Gini(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(loads))
+	for i, v := range loads {
+		sorted[i] = math.Max(v, 0)
+	}
+	sort.Float64s(sorted)
+	var total, weighted float64
+	for i, v := range sorted {
+		total += v
+		weighted += float64(i+1) * v
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*weighted - (n+1)*total) / (n * total)
+}
+
+// CoV returns the coefficient of variation (population standard
+// deviation over mean) of a load vector — the paper-adjacent DIM
+// literature's preferred imbalance measure. 0 when empty or the mean
+// is 0.
+func CoV(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range loads {
+		sum += v
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range loads {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(loads))) / mean
+}
+
+// Hotspot is one row of a top-k load table.
+type Hotspot struct {
+	Node  int     // index into the load vector
+	Load  float64 // the node's load
+	Share float64 // fraction of the vector's total carried by this node
+}
+
+// TopK returns the k highest-loaded nodes, heaviest first, ties broken
+// by lower node index. k larger than the vector returns every node with
+// nonzero total ordering preserved.
+func TopK(loads []float64, k int) []Hotspot {
+	if k <= 0 || len(loads) == 0 {
+		return nil
+	}
+	var total float64
+	idx := make([]int, len(loads))
+	for i, v := range loads {
+		idx[i] = i
+		total += v
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if loads[idx[a]] != loads[idx[b]] {
+			return loads[idx[a]] > loads[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Hotspot, k)
+	for i := 0; i < k; i++ {
+		h := Hotspot{Node: idx[i], Load: loads[idx[i]]}
+		if total > 0 {
+			h.Share = h.Load / total
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Balance bundles the imbalance statistics of one load vector.
+type Balance struct {
+	Total    float64
+	Max      float64
+	Gini     float64
+	CoV      float64
+	TopShare float64 // share of the total carried by the single heaviest node
+}
+
+// Analyze computes the Balance of a load vector.
+func Analyze(loads []float64) Balance {
+	var b Balance
+	for _, v := range loads {
+		b.Total += v
+		b.Max = math.Max(b.Max, v)
+	}
+	b.Gini = Gini(loads)
+	b.CoV = CoV(loads)
+	if b.Total > 0 {
+		b.TopShare = b.Max / b.Total
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"pooldcs/internal/geo"
+	"pooldcs/internal/metrics"
+	"pooldcs/internal/rng"
+)
+
+func TestWithMetricsMirrorsCounters(t *testing.T) {
+	reg := metrics.New()
+	n := New(chainLayout(t), WithMetrics(reg))
+	if err := n.Transmit(0, 1, KindInsert, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transmit(1, 2, KindQuery, 16); err != nil {
+		t.Fatal(err)
+	}
+	n.Broadcast(1, KindControl, 8)
+
+	tx := reg.NodeValues("net_tx_frames_total")
+	rx := reg.NodeValues("net_rx_frames_total")
+	for id := range tx {
+		wantTx, wantRx := n.NodeLoad(id)
+		if uint64(tx[id]) != wantTx || uint64(rx[id]) != wantRx {
+			t.Errorf("node %d: metrics tx/rx = %v/%v, network %d/%d", id, tx[id], rx[id], wantTx, wantRx)
+		}
+	}
+	snap := n.Snapshot()
+	if got := reg.Value("net_messages_total"); uint64(got) != snap.Total() {
+		t.Errorf("net_messages_total = %v, snapshot total %d", got, snap.Total())
+	}
+	if got := reg.Value("net_energy_joules"); got != snap.EnergyJ {
+		t.Errorf("net_energy_joules = %v, snapshot %v", got, snap.EnergyJ)
+	}
+	if got := reg.NodeValues("net_node_energy_joules"); got[0] != n.NodeEnergy(0) {
+		t.Errorf("per-node energy gauge = %v, want %v", got[0], n.NodeEnergy(0))
+	}
+}
+
+func TestDropsAttributedToSender(t *testing.T) {
+	reg := metrics.New()
+	n := New(chainLayout(t), WithMetrics(reg))
+	// Frames into a dead receiver count as sender drops.
+	n.FailNode(1)
+	if err := n.Transmit(0, 1, KindInsert, 8); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	// Frames eaten by a certain-loss burst too.
+	n.RecoverNode(1)
+	cancel := n.AddRegionLoss(geo.RectFromCorners(geo.Pt(25, -5), geo.Pt(35, 5)), 1.0, rng.New(1))
+	if err := n.Transmit(0, 1, KindInsert, 8); !errors.Is(err, ErrFrameLost) {
+		t.Fatalf("err = %v, want ErrFrameLost", err)
+	}
+	cancel()
+	if n.Drops() != 2 || n.NodeDrops(0) != 2 || n.NodeDrops(1) != 0 {
+		t.Fatalf("drops = %d, node0 = %d, node1 = %d", n.Drops(), n.NodeDrops(0), n.NodeDrops(1))
+	}
+	if got := reg.NodeValues("net_dropped_frames_total"); got[0] != 2 {
+		t.Fatalf("dropped-frames metric = %v", got)
+	}
+	if d := n.Snapshot().Drops; d != 2 {
+		t.Fatalf("snapshot drops = %d", d)
+	}
+}
+
+// TestBurstDropsAreIterationOrderStable is the property the churn burst
+// column depends on: whether a given frame on a given link drops must
+// not change when unrelated traffic interleaves differently.
+func TestBurstDropsAreIterationOrderStable(t *testing.T) {
+	run := func(interleave bool) []bool {
+		n := New(chainLayout(t))
+		n.AddRegionLoss(geo.RectFromCorners(geo.Pt(25, -5), geo.Pt(35, 5)), 0.5, rng.New(7))
+		var fates []bool
+		for i := 0; i < 40; i++ {
+			if interleave {
+				// Unrelated traffic on another link inside the region.
+				_ = n.Transmit(2, 1, KindControl, 8)
+			}
+			err := n.Transmit(0, 1, KindQuery, 8)
+			fates = append(fates, errors.Is(err, ErrFrameLost))
+		}
+		return fates
+	}
+	plain, interleaved := run(false), run(true)
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("frame %d on 0→1 changed fate (%v → %v) because of unrelated traffic",
+				i, plain[i], interleaved[i])
+		}
+	}
+}

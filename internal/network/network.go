@@ -18,6 +18,7 @@ import (
 
 	"pooldcs/internal/field"
 	"pooldcs/internal/geo"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/trace"
@@ -99,6 +100,9 @@ type Counters struct {
 	Bytes map[Kind]uint64
 	// EnergyJ is the total radio energy spent in joules (tx + rx).
 	EnergyJ float64
+	// Drops counts frames the sender paid for that never arrived — the
+	// lossy-link and burst models plus frames sent into dead receivers.
+	Drops uint64
 }
 
 // Total returns the total number of messages across all kinds.
@@ -128,6 +132,9 @@ type Network struct {
 	// nodeTx/nodeRx track per-node load for the hotspot experiments.
 	nodeTx []uint64
 	nodeRx []uint64
+	// nodeDrop counts, per sender, frames paid for that never arrived.
+	nodeDrop []uint64
+	drops    uint64
 	// nodeEnergy tracks radio energy per node for lifetime analysis.
 	nodeEnergy []float64
 
@@ -159,13 +166,24 @@ type Network struct {
 	// tracer, when non-nil, receives one record per transmission. The
 	// nil tracer costs one pointer compare on the hot path.
 	tracer *trace.Tracer
+
+	// Metric handles (nil when no registry is attached; nil handles
+	// no-op, so the disabled cost is a few pointer compares per frame).
+	mTx, mRx, mDrop *metrics.CounterVec // per node
+	mMsgs, mBytes   *metrics.CounterVec // per traffic kind
 }
 
-// regionLoss is one active loss burst.
+// regionLoss is one active loss burst. Per-frame drop decisions hash
+// (seed, from, to, nth frame on that directed link) instead of drawing
+// from a shared rng stream, so whether a given frame drops does not
+// depend on how traffic from unrelated links interleaves with it —
+// message totals stay comparable across runs that reorder iteration.
 type regionLoss struct {
 	rect geo.Rect
 	rate float64
-	src  *rng.Source
+	seed uint64
+	// nth counts frames per directed link inside the burst.
+	nth map[[2]int]uint64
 }
 
 // ErrFrameLost reports a transmission dropped by the lossy-link model.
@@ -233,6 +251,41 @@ func WithScheduler(s *sim.Scheduler, hopLatency time.Duration) Option {
 	})
 }
 
+// WithMetrics registers the radio's live metrics on reg: per-node
+// tx/rx/dropped frame counters, per-kind message and byte counters, and
+// function-backed per-node energy gauges. Dropped frames are attributed
+// to the *sender* — the node that paid for the frame and whose ARQ will
+// retry — covering both lossy-link losses and frames sent into dead
+// receivers. A nil registry attaches nothing.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(n *Network) {
+		if reg == nil {
+			return
+		}
+		nn := n.layout.N()
+		n.mTx = reg.NodeCounter("net_tx_frames_total", "frames transmitted per node", nn)
+		n.mRx = reg.NodeCounter("net_rx_frames_total", "frames received per node", nn)
+		n.mDrop = reg.NodeCounter("net_dropped_frames_total", "frames lost in flight, attributed to the sender", nn)
+		kinds := make([]string, 0, len(Kinds()))
+		for _, k := range Kinds() {
+			kinds = append(kinds, k.String())
+		}
+		n.mMsgs = reg.CounterVec("net_messages_total", "transmissions by traffic kind", "kind", kinds)
+		n.mBytes = reg.CounterVec("net_bytes_total", "payload bytes by traffic kind", "kind", kinds)
+		reg.NodeGaugeFunc("net_node_energy_joules", "radio energy spent per node", nn, n.NodeEnergy)
+		reg.GaugeFunc("net_energy_joules", "total radio energy spent", func() float64 { return n.energyJ })
+		reg.GaugeFunc("net_nodes_down", "nodes currently crashed or battery-depleted", func() float64 {
+			var down float64
+			for i := range n.dead {
+				if n.dead[i] || n.depleted[i] {
+					down++
+				}
+			}
+			return down
+		})
+	})
+}
+
 // New builds a Network over layout.
 func New(layout *field.Layout, opts ...Option) *Network {
 	n := &Network{
@@ -240,6 +293,7 @@ func New(layout *field.Layout, opts ...Option) *Network {
 		energy:     DefaultEnergyModel(),
 		nodeTx:     make([]uint64, layout.N()),
 		nodeRx:     make([]uint64, layout.N()),
+		nodeDrop:   make([]uint64, layout.N()),
 		nodeEnergy: make([]float64, layout.N()),
 		dead:       make([]bool, layout.N()),
 		depleted:   make([]bool, layout.N()),
@@ -305,10 +359,15 @@ func (n *Network) OnDepleted(fn func(id int)) { n.onDeplete = fn }
 
 // AddRegionLoss opens a transient regional loss burst: every frame whose
 // sender or receiver lies inside rect is dropped independently with the
-// given probability (drawn deterministically from src), on top of the
-// base loss rate. The returned cancel function ends the burst.
+// given probability, on top of the base loss rate. src is consumed once
+// to seed the burst; per-frame decisions then hash (seed, link, frame
+// index on that link), so a frame's fate depends only on its own link's
+// history — not on how traffic elsewhere interleaves with it. That
+// iteration-order stability is what lets experiment tables report burst
+// losses without the totals becoming order-dependent. The returned
+// cancel function ends the burst.
 func (n *Network) AddRegionLoss(rect geo.Rect, rate float64, src *rng.Source) (cancel func()) {
-	b := &regionLoss{rect: rect, rate: rate, src: src}
+	b := &regionLoss{rect: rect, rate: rate, seed: uint64(src.Int63()), nth: make(map[[2]int]uint64)}
 	n.bursts = append(n.bursts, b)
 	return func() {
 		for i, cur := range n.bursts {
@@ -320,6 +379,18 @@ func (n *Network) AddRegionLoss(rect geo.Rect, rate float64, src *rng.Source) (c
 	}
 }
 
+// hashUnit maps (seed, from, to, nth) to a uniform value in [0,1) via a
+// splitmix64 finalizer — a stateless per-frame coin flip.
+func hashUnit(seed uint64, from, to int, nth uint64) float64 {
+	x := seed ^ uint64(from)*0x9E3779B97F4A7C15 ^ uint64(to)*0xC2B2AE3D27D4EB4F ^ nth*0x165667B19E3779F9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
 // dropFrame draws whether the frame from→to is lost to the base loss
 // model or any active regional burst.
 func (n *Network) dropFrame(from, to int) bool {
@@ -328,12 +399,22 @@ func (n *Network) dropFrame(from, to int) bool {
 	}
 	for _, b := range n.bursts {
 		if b.rect.ContainsClosed(n.layout.Pos(from)) || b.rect.ContainsClosed(n.layout.Pos(to)) {
-			if b.src.Bool(b.rate) {
+			k := [2]int{from, to}
+			i := b.nth[k]
+			b.nth[k] = i + 1
+			if hashUnit(b.seed, from, to, i) < b.rate {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// countDrop books a lost frame against its sender.
+func (n *Network) countDrop(from int, frames uint64) {
+	n.nodeDrop[from] += frames
+	n.drops += frames
+	n.mDrop.Add(from, frames)
 }
 
 // chargeTx charges a transmission to the sender and checks its battery.
@@ -382,6 +463,9 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 	n.msgs[kind] += frames
 	n.bytes[kind] += uint64(payloadBytes)
 	n.nodeTx[from] += frames
+	n.mTx.Add(from, frames)
+	n.mMsgs.Add(int(kind-1), frames)
+	n.mBytes.Add(int(kind-1), uint64(payloadBytes))
 
 	bits := float64(payloadBytes * 8)
 	d2 := n.layout.Pos(from).Dist2(n.layout.Pos(to))
@@ -389,6 +473,7 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 	if !n.Alive(to) {
 		// The sender paid for a frame nobody will ever acknowledge; its
 		// link layer declares the neighbour dead after the ACK timeout.
+		n.countDrop(from, frames)
 		if n.tracer != nil {
 			n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), true)
 		}
@@ -397,12 +482,14 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 	if n.dropFrame(from, to) {
 		// The frame left the sender's radio but never arrived: the sender
 		// paid, the receiver heard nothing.
+		n.countDrop(from, frames)
 		if n.tracer != nil {
 			n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), true)
 		}
 		return ErrFrameLost
 	}
 	n.nodeRx[to] += frames
+	n.mRx.Add(to, frames)
 	n.chargeRx(to, n.energy.Elec*bits)
 	if n.tracer != nil {
 		n.tracer.Hop(from, to, kind.String(), payloadBytes, int(frames), false)
@@ -429,6 +516,9 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 	n.msgs[kind] += frames
 	n.bytes[kind] += uint64(payloadBytes)
 	n.nodeTx[from] += frames
+	n.mTx.Add(from, frames)
+	n.mMsgs.Add(int(kind-1), frames)
+	n.mBytes.Add(int(kind-1), uint64(payloadBytes))
 
 	bits := float64(payloadBytes * 8)
 	r := n.layout.Spec.RadioRange
@@ -443,9 +533,11 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 		}
 		if n.dropFrame(from, v) {
 			lost++
+			n.countDrop(from, frames)
 			continue
 		}
 		n.nodeRx[v] += frames
+		n.mRx.Add(v, frames)
 		n.chargeRx(v, rx)
 		reached = append(reached, v)
 	}
@@ -489,6 +581,7 @@ func (n *Network) Snapshot() Counters {
 		Messages: make(map[Kind]uint64, int(numKinds)),
 		Bytes:    make(map[Kind]uint64, int(numKinds)),
 		EnergyJ:  n.energyJ,
+		Drops:    n.drops,
 	}
 	for _, k := range Kinds() {
 		if n.msgs[k] > 0 {
@@ -508,6 +601,7 @@ func (n *Network) Diff(since Counters) Counters {
 		Messages: make(map[Kind]uint64, len(cur.Messages)),
 		Bytes:    make(map[Kind]uint64, len(cur.Bytes)),
 		EnergyJ:  cur.EnergyJ - since.EnergyJ,
+		Drops:    cur.Drops - since.Drops,
 	}
 	for k, v := range cur.Messages {
 		if d := v - since.Messages[k]; d > 0 {
@@ -527,9 +621,11 @@ func (n *Network) Reset() {
 	n.msgs = [numKinds]uint64{}
 	n.bytes = [numKinds]uint64{}
 	n.energyJ = 0
+	n.drops = 0
 	for i := range n.nodeTx {
 		n.nodeTx[i] = 0
 		n.nodeRx[i] = 0
+		n.nodeDrop[i] = 0
 		n.nodeEnergy[i] = 0
 	}
 }
@@ -538,6 +634,12 @@ func (n *Network) Reset() {
 func (n *Network) NodeLoad(id int) (tx, rx uint64) {
 	return n.nodeTx[id], n.nodeRx[id]
 }
+
+// NodeDrops returns the frames node id paid for that never arrived.
+func (n *Network) NodeDrops(id int) uint64 { return n.nodeDrop[id] }
+
+// Drops returns the total number of lost frames.
+func (n *Network) Drops() uint64 { return n.drops }
 
 // MaxNodeLoad returns the highest tx+rx total over all nodes and the node
 // that bears it — the hotspot metric.

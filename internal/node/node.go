@@ -25,6 +25,7 @@ import (
 	"pooldcs/internal/event"
 	"pooldcs/internal/field"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
@@ -82,6 +83,12 @@ type Engine struct {
 	ops  map[uint64]*operation
 	seq  uint64
 	errs []error
+
+	// Metric handles (nil until EnableMetrics).
+	mMailbox  *metrics.GaugeVec
+	mInserts  *metrics.Counter
+	mQueries  *metrics.Counter
+	mSendErrs *metrics.Counter
 }
 
 type storeKey struct {
@@ -167,6 +174,32 @@ func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, 
 	return e, nil
 }
 
+// EnableMetrics registers the engine's live metrics on reg: a per-node
+// mailbox-depth gauge (packets scheduled toward a node that have not yet
+// been delivered), insert/query counters, a function-backed gauge over
+// in-flight operations, and a transport-error counter. A nil registry is
+// a no-op.
+func (e *Engine) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	e.mMailbox = reg.GaugeVec("node_mailbox_depth", "packets in flight toward each node", "node",
+		metrics.NodeLabels(e.layout.N()))
+	e.mInserts = reg.Counter("node_inserts_total", "inserts injected into the actor engine")
+	e.mQueries = reg.Counter("node_queries_total", "queries injected into the actor engine")
+	e.mSendErrs = reg.Counter("node_send_errors_total", "sends aborted by transport errors")
+	reg.GaugeFunc("node_inflight_ops", "operations awaiting completion",
+		func() float64 { return float64(len(e.ops)) })
+	reg.NodeGaugeFunc("node_stored_events", "events held per actor node", e.layout.N(),
+		func(i int) float64 {
+			var n float64
+			for _, evs := range e.store[i] {
+				n += float64(len(evs))
+			}
+			return n
+		})
+}
+
 // Errors returns transport errors recorded during the run (nil when the
 // run was clean). Errors abort the affected operation, not the engine.
 func (e *Engine) Errors() []error { return e.errs }
@@ -178,24 +211,33 @@ func (e *Engine) Pools() []pool.Pool { return e.pools }
 // scheduled radio transmission. deliver runs at the destination when the
 // last hop lands.
 func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func()) {
+	e.mMailbox.Add(to, 1)
+	delivered := func() {
+		e.mMailbox.Add(to, -1)
+		deliver()
+	}
 	if from == to {
-		e.sched.After(0, deliver)
+		e.sched.After(0, delivered)
 		return
 	}
 	res, err := e.router.RouteToNode(from, to)
 	if err != nil {
 		e.errs = append(e.errs, fmt.Errorf("node: send %d→%d: %w", from, to, err))
+		e.mSendErrs.Inc()
+		e.mMailbox.Add(to, -1)
 		return
 	}
 	path := res.Path
 	var hop func(i int)
 	hop = func(i int) {
 		if i >= len(path)-1 {
-			deliver()
+			delivered()
 			return
 		}
 		if err := e.net.Transmit(path[i], path[i+1], kind, size); err != nil {
 			e.errs = append(e.errs, fmt.Errorf("node: transmit: %w", err))
+			e.mSendErrs.Inc()
+			e.mMailbox.Add(to, -1)
 			return
 		}
 		e.sched.After(e.hopLatency, func() { hop(i + 1) })
@@ -224,6 +266,7 @@ func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
 	}
 	index := e.holder[bestCell]
 	key := storeKey{dim: bestDim, cell: bestCell}
+	e.mInserts.Inc()
 	e.send(origin, index, network.KindInsert, dcs.EventBytes(e.dims), func() {
 		e.store[index][key] = append(e.store[index][key], ev)
 		if done != nil {
@@ -263,6 +306,7 @@ func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Even
 			plans = append(plans, poolPlan{p: p, cells: cells})
 		}
 	}
+	e.mQueries.Inc()
 	op.poolsLeft = len(plans)
 	if len(plans) == 0 {
 		e.sched.After(0, func() { e.finish(op) })

@@ -7,6 +7,7 @@ import (
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/event"
 	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/trace"
@@ -29,6 +30,7 @@ type config struct {
 	replicate bool
 	tracer    *trace.Tracer
 	arq       dcs.TxOptions
+	reg       *metrics.Registry
 }
 
 // Option configures New.
@@ -82,6 +84,14 @@ func WithARQBudget(n int) Option {
 	return optionFunc(func(c *config) { c.arq = dcs.TxOptions{MaxRetransmissions: n} })
 }
 
+// WithMetrics registers the system's live metrics on reg: insert/query
+// counters, the per-query cell fan-out histogram, per-node splitter load,
+// and function-backed gauges over stored events and delegations. A nil
+// registry attaches nothing and the instrumented paths stay free.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(c *config) { c.reg = reg })
+}
+
 // storeKey addresses the storage of one cell of one Pool.
 type storeKey struct {
 	dim  int // 1-based Pool dimension
@@ -133,6 +143,13 @@ type System struct {
 	subs    map[storeKey][]*Subscription
 	subSeq  uint64
 	pending []Notification
+
+	// Metric handles (nil when no registry is attached).
+	mInserts  *metrics.Counter
+	mQueries  *metrics.Counter
+	mRetries  *metrics.Counter
+	mFanout   *metrics.Histogram
+	mSplitter *metrics.CounterVec
 }
 
 var _ dcs.System = (*System)(nil)
@@ -205,7 +222,26 @@ func New(net *network.Network, router *gpsr.Router, dims int, src *rng.Source, o
 			}
 		}
 	}
+	if cfg.reg != nil {
+		s.enableMetrics(cfg.reg)
+	}
 	return s, nil
+}
+
+// enableMetrics registers the system's metric families (WithMetrics).
+func (s *System) enableMetrics(reg *metrics.Registry) {
+	n := s.net.Layout().N()
+	s.mInserts = reg.Counter("pool_inserts_total", "events stored through Pool")
+	s.mQueries = reg.Counter("pool_queries_total", "range queries resolved by Pool")
+	s.mRetries = reg.Counter("pool_query_retries_total", "extra unicasts spent by the query failure policy")
+	s.mFanout = reg.Histogram("pool_query_fanout_cells", "relevant cells addressed per query")
+	s.mSplitter = reg.NodeCounter("pool_splitter_queries_total", "per-Pool fan-outs served by each node as splitter", n)
+	reg.NodeGaugeFunc("pool_stored_events", "events held per node (delegated segments included)", n,
+		func(i int) float64 { return float64(s.stored[i]) })
+	reg.CounterFunc("pool_delegations_total", "workload-sharing segments opened beyond the index nodes",
+		func() float64 { return float64(s.delegations) })
+	reg.CounterFunc("pool_recovery_messages_total", "messages spent restoring state after node failures",
+		func() float64 { return float64(s.recoveryMsgs) })
 }
 
 // placePivots draws random pivot cells, preferring a placement where the
@@ -303,6 +339,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 	if _, err := s.unicast(origin, index, network.KindInsert, payload); err != nil {
 		return fmt.Errorf("pool: insert: %w", err)
 	}
+	s.mInserts.Inc()
 	return s.storeEvent(storeKey{dim: bestDim, cell: bestCell}, index, e, payload)
 }
 
@@ -447,6 +484,9 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 		}
 		results = append(results, poolResults...)
 	}
+	s.mQueries.Inc()
+	s.mFanout.Observe(int64(comp.CellsTotal))
+	s.mRetries.Add(uint64(comp.Retries))
 	return results, comp, nil
 }
 
@@ -504,6 +544,7 @@ func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int, comp *d
 		}
 		splitter = alt
 	}
+	s.mSplitter.Inc(splitter)
 	var poolResults []event.Event
 	// served tracks, per reached cell, the matches the splitter holds for
 	// it, so the final reply leg can demote them on failure.
