@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz chaos conformance cover-ght cover-metrics smoke-bench check bench golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# The parallel experiment runner's determinism contract, exercised with
+# real contention: 8 scheduler threads regardless of host core count.
+race-parallel:
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/experiment \
+		-run 'TestParallelMatchesSequential|TestForEachOrderAndErrors'
 
 # Short fuzz smoke: random fault plans + queries must never panic or
 # over-report completeness, and the metrics exposition writer must stay
@@ -55,20 +61,35 @@ cover-metrics:
 		{ echo "internal/metrics coverage $$total% below the 80% gate"; exit 1; }
 
 # Quick benchmark smoke: the disabled-registry hot path must stay
-# allocation-free, and the exposition writer must run. Keeps `make
-# check` honest without the full bench sweep.
+# allocation-free, the exposition writer must run, and the two headline
+# simulation benchmarks must hold their allocs/op within 10% of the
+# checked-in bench_baseline.json. Keeps `make check` honest without the
+# full bench sweep.
 smoke-bench:
 	$(GO) test ./internal/metrics -run=NONE -bench='DisabledHotPath|EnabledHotPath|SnapshotWrite' -benchmem -benchtime=100x
+	$(GO) test . -run=NONE -bench='^BenchmarkFig6a$$|^BenchmarkPoolQuery$$' -benchmem -benchtime=1x 2>&1 \
+		| tee /tmp/smoke-bench.out
+	$(GO) run ./cmd/benchjson -gate bench_baseline.json -tolerance 10 < /tmp/smoke-bench.out
 
-check: build vet race fuzz chaos conformance cover-ght cover-metrics smoke-bench
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench
 
 # Full benchmark sweep, archived as machine-readable JSON
-# (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing.
+# (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing. A
+# same-day re-run gets a numeric suffix instead of clobbering the
+# earlier archive.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/metrics 2>&1 \
 		| tee /tmp/bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json < /tmp/bench.out
-	@echo "wrote BENCH_$$(date +%F).json"
+	@out=BENCH_$$(date +%F).json; n=2; \
+	while [ -e "$$out" ]; do out=BENCH_$$(date +%F)_$$n.json; n=$$((n+1)); done; \
+	$(GO) run ./cmd/benchjson -o "$$out" < /tmp/bench.out; \
+	echo "wrote $$out"
+
+# Benchstat-style delta between the two newest benchmark archives.
+bench-compare:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need at least two BENCH_*.json archives"; exit 1; fi; \
+	$(GO) run ./cmd/benchjson -compare "$$1" "$$2"
 
 # Regenerate golden files after an intentional behaviour change.
 golden:

@@ -249,6 +249,26 @@ func BenchmarkGabrielPlanarization(b *testing.B) {
 	}
 }
 
+func BenchmarkPlanarizeChurn(b *testing.B) {
+	// Fault-heavy workloads flip a few nodes and immediately route again;
+	// each iteration pays one small exclusion change plus the incremental
+	// re-planarization it triggers.
+	layout, err := field.Generate(field.DefaultSpec(900), rng.New(18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := gpsr.New(layout)
+	src := rng.New(19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := src.Intn(900)
+		router.Exclude(id)
+		router.PlanarNeighbors((id + 1) % 900)
+		router.Restore(id)
+		router.PlanarNeighbors((id + 1) % 900)
+	}
+}
+
 func BenchmarkPoolResolve(b *testing.B) {
 	p := pool.Pool{Dim: 1, Pivot: pool.CellID{X: 1, Y: 2}, Side: 10}
 	qgen := workload.NewQueries(rng.New(12), 3)

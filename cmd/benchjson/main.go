@@ -6,10 +6,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson [-o report.json]
+//	benchjson -compare old.json new.json
+//	go test -bench=... -benchmem | benchjson -gate baseline.json [-tolerance 10]
 //
 // Reads the benchmark stream on stdin. Context lines (goos, goarch,
 // pkg, cpu) are folded into the enclosing benchmarks; custom
 // ReportMetric units (e.g. "dim-msgs/query") land in the metrics map.
+//
+// -compare prints a benchstat-style delta table (ns/op, B/op,
+// allocs/op) between two archived reports. -gate parses a fresh bench
+// stream from stdin and fails when any benchmark's allocs/op regresses
+// more than -tolerance percent over the baseline report.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -58,8 +67,23 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	date := fs.String("date", time.Now().Format("2006-01-02"), "date stamped into the report")
+	compare := fs.Bool("compare", false, "compare two archived reports: benchjson -compare old.json new.json")
+	gate := fs.String("gate", "", "baseline report; fail when stdin's allocs/op regress past -tolerance")
+	tolerance := fs.Float64("tolerance", 10, "allowed allocs/op regression in percent for -gate")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two report files, got %d", fs.NArg())
+		}
+		return compareReports(fs.Arg(0), fs.Arg(1), stdout)
+	}
+	if *gate != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+		}
+		return gateReport(in, *gate, *tolerance, stdout)
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
@@ -169,4 +193,161 @@ func parseBench(line string) (*Benchmark, error) {
 		}
 	}
 	return b, nil
+}
+
+// loadReport reads an archived JSON report from disk.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across reports. Pkg is included so
+// same-named benchmarks in different packages never collide.
+func benchKey(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
+
+// delta renders a benchstat-style percentage change.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "+∞"
+	}
+	pct := (new - old) / old * 100
+	if math.Abs(pct) < 0.005 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.2f%%", pct)
+}
+
+// compareReports prints per-unit delta sections (ns/op, B/op,
+// allocs/op) for benchmarks present in both reports, in the new
+// report's order.
+func compareReports(oldPath, newPath string, out io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+
+	sections := []struct {
+		unit string
+		get  func(Benchmark) (float64, bool)
+	}{
+		{"ns/op", func(b Benchmark) (float64, bool) { return b.NsPerOp, true }},
+		{"B/op", func(b Benchmark) (float64, bool) {
+			if b.BytesPerOp == nil {
+				return 0, false
+			}
+			return *b.BytesPerOp, true
+		}},
+		{"allocs/op", func(b Benchmark) (float64, bool) {
+			if b.AllocsPerOp == nil {
+				return 0, false
+			}
+			return *b.AllocsPerOp, true
+		}},
+	}
+
+	fmt.Fprintf(out, "old: %s (%s)\nnew: %s (%s)\n", oldPath, oldRep.Date, newPath, newRep.Date)
+	matched := 0
+	for _, sec := range sections {
+		var rows [][4]string
+		for _, nb := range newRep.Benchmarks {
+			ob, ok := oldBy[benchKey(nb)]
+			if !ok {
+				continue
+			}
+			ov, ook := sec.get(ob)
+			nv, nok := sec.get(nb)
+			if !ook || !nok {
+				continue
+			}
+			rows = append(rows, [4]string{
+				nb.Name,
+				strconv.FormatFloat(ov, 'f', -1, 64),
+				strconv.FormatFloat(nv, 'f', -1, 64),
+				delta(ov, nv),
+			})
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		matched += len(rows)
+		tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+		fmt.Fprintf(tw, "\nname\told %s\tnew %s\tdelta\n", sec.unit, sec.unit)
+		for _, row := range rows {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", row[0], row[1], row[2], row[3])
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+// gateReport parses a fresh bench stream and fails when any baseline
+// benchmark's allocs/op regressed more than tolerance percent. Baseline
+// benchmarks missing from the stream fail too, so the gate cannot rot
+// silently when a benchmark is renamed.
+func gateReport(in io.Reader, baselinePath string, tolerance float64, out io.Writer) error {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := parse(in)
+	if err != nil {
+		return err
+	}
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[benchKey(b)] = b
+	}
+
+	var failures []string
+	checked := 0
+	for _, bb := range base.Benchmarks {
+		if bb.AllocsPerOp == nil {
+			continue
+		}
+		cb, ok := curBy[benchKey(bb)]
+		if !ok || cb.AllocsPerOp == nil {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (or run without -benchmem)", bb.Name))
+			continue
+		}
+		checked++
+		limit := *bb.AllocsPerOp * (1 + tolerance/100)
+		status := "ok"
+		if *cb.AllocsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %g allocs/op exceeds baseline %g by more than %g%%",
+				bb.Name, *cb.AllocsPerOp, *bb.AllocsPerOp, tolerance))
+		}
+		fmt.Fprintf(out, "%-40s baseline %10g  current %10g  (%s)  %s\n",
+			bb.Name, *bb.AllocsPerOp, *cb.AllocsPerOp, delta(*bb.AllocsPerOp, *cb.AllocsPerOp), status)
+	}
+	if checked == 0 && len(failures) == 0 {
+		return fmt.Errorf("baseline %s has no allocs/op entries to gate on", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }

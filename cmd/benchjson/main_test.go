@@ -78,6 +78,90 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+// writeReport marshals a Report into a temp file for compare/gate tests.
+func writeReport(t *testing.T, rep Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestCompareReports(t *testing.T) {
+	oldPath := writeReport(t, Report{Date: "2026-08-01", Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 1000, BytesPerOp: f64(800), AllocsPerOp: f64(100)},
+		{Pkg: "pooldcs", Name: "BenchmarkOldOnly", NsPerOp: 5},
+	}})
+	newPath := writeReport(t, Report{Date: "2026-08-05", Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 500, BytesPerOp: f64(800), AllocsPerOp: f64(35)},
+		{Pkg: "pooldcs", Name: "BenchmarkNewOnly", NsPerOp: 7},
+	}})
+
+	var out strings.Builder
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"-50.00%", "-65.00%", "allocs/op", "B/op", "~"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "BenchmarkOldOnly") || strings.Contains(got, "BenchmarkNewOnly") {
+		t.Errorf("unmatched benchmarks leaked into compare output:\n%s", got)
+	}
+
+	if err := run([]string{"-compare", oldPath}, strings.NewReader(""), &out); err == nil {
+		t.Error("-compare with one file accepted")
+	}
+	disjoint := writeReport(t, Report{Benchmarks: []Benchmark{{Pkg: "x", Name: "BenchmarkZ", NsPerOp: 1}}})
+	if err := run([]string{"-compare", oldPath, disjoint}, strings.NewReader(""), &out); err == nil {
+		t.Error("disjoint reports accepted")
+	}
+}
+
+func TestGateReport(t *testing.T) {
+	baseline := writeReport(t, Report{Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 1000, AllocsPerOp: f64(100)},
+	}})
+
+	// Within tolerance passes.
+	var out strings.Builder
+	stream := "pkg: pooldcs\nBenchmarkFig6a-8 1 900 ns/op 10 B/op 105 allocs/op\n"
+	if err := run([]string{"-gate", baseline}, strings.NewReader(stream), &out); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("gate output missing ok status:\n%s", out.String())
+	}
+
+	// Past tolerance fails.
+	stream = "pkg: pooldcs\nBenchmarkFig6a-8 1 900 ns/op 10 B/op 120 allocs/op\n"
+	err := run([]string{"-gate", baseline}, strings.NewReader(stream), &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds baseline") {
+		t.Errorf("regression not caught: %v", err)
+	}
+
+	// A tighter tolerance flips the first stream to failing.
+	stream = "pkg: pooldcs\nBenchmarkFig6a-8 1 900 ns/op 10 B/op 105 allocs/op\n"
+	if err := run([]string{"-gate", baseline, "-tolerance", "2"}, strings.NewReader(stream), &out); err == nil {
+		t.Error("tolerance flag ignored")
+	}
+
+	// Baseline benchmarks missing from the stream fail the gate.
+	if err := run([]string{"-gate", baseline}, strings.NewReader("PASS\n"), &out); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing benchmark not caught: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"stray"}, strings.NewReader(""), &out); err == nil {

@@ -16,6 +16,7 @@
 //	-queries N   queries per data point (default 100)
 //	-sizes LIST  comma-separated network sizes for the fig6 sweeps
 //	-quick       fewer queries, smaller sweep (smoke run)
+//	-parallel N  worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential)
 //	-format F    text | csv | markdown (default text)
 //	-debug-addr A  serve net/http/pprof and Prometheus /metrics on A while running
 package main
@@ -101,6 +102,7 @@ func run(args []string, out io.Writer) error {
 	queries := fs.Int("queries", 100, "queries per data point")
 	sizes := fs.String("sizes", "", "comma-separated network sizes for the fig6 sweeps (default 300,600,900,1200)")
 	quick := fs.Bool("quick", false, "smoke run: fewer queries per point")
+	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); tables are identical at any setting")
 	format := fs.String("format", "text", "output format: text, csv, or markdown")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this address while running")
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +132,10 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.NetworkSizes = parsed
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be ≥ 0, got %d", *parallel)
+	}
+	cfg.Parallel = *parallel
 
 	var dbg *debugServer
 	if *debugAddr != "" {

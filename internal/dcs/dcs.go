@@ -81,6 +81,11 @@ type TxOptions struct {
 	// MaxRetransmissions bounds per-hop link-layer retries on lossy
 	// links; 0 selects DefaultMaxRetransmissions.
 	MaxRetransmissions int
+	// PathBuf, when non-nil, points at a reusable backing array for the
+	// route path; the (possibly grown) buffer is stored back after each
+	// unicast. Route paths are then only allocated when they outgrow the
+	// buffer. The buffer must not be shared across goroutines.
+	PathBuf *[]int
 }
 
 func (o TxOptions) retries() int {
@@ -106,7 +111,14 @@ func UnicastOpts(net *network.Network, router *gpsr.Router, from, to int, kind n
 	if from == to {
 		return 0, nil
 	}
-	res, err := router.RouteToNode(from, to)
+	var res gpsr.Result
+	var err error
+	if opts.PathBuf != nil {
+		res, err = router.RouteToNodeBuf(from, to, *opts.PathBuf)
+		*opts.PathBuf = res.Path
+	} else {
+		res, err = router.RouteToNode(from, to)
+	}
 	if err != nil {
 		if errors.Is(err, gpsr.ErrUnreachable) {
 			return 0, fmt.Errorf("dcs: unicast %d→%d: %v: %w", from, to, err, ErrUnreachable)
@@ -159,7 +171,13 @@ func GeoUnicast(net *network.Network, router *gpsr.Router, from int, target geo.
 // GeoUnicastOpts is GeoUnicast with an explicit retry budget; error
 // semantics match UnicastOpts.
 func GeoUnicastOpts(net *network.Network, router *gpsr.Router, from int, target geo.Point, kind network.Kind, payloadBytes int, opts TxOptions) (home, hops int, err error) {
-	res, err := router.Route(from, target)
+	var res gpsr.Result
+	if opts.PathBuf != nil {
+		res, err = router.RouteBuf(from, target, *opts.PathBuf)
+		*opts.PathBuf = res.Path
+	} else {
+		res, err = router.Route(from, target)
+	}
 	if err != nil {
 		if errors.Is(err, gpsr.ErrUnreachable) {
 			return -1, 0, fmt.Errorf("dcs: geounicast from %d to %v: %v: %w", from, target, err, ErrUnreachable)

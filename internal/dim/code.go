@@ -135,9 +135,17 @@ func (c Code) ValueRegion(k int) []geo.Interval {
 // normalized to [0, 1).
 func EventCode(values []float64, depth int) Code {
 	k := len(values)
-	lo := make([]float64, k)
-	hi := make([]float64, k)
+	// Per-insert hot path: keep the bisection bounds on the stack for
+	// realistic dimensionalities instead of allocating two slices.
+	var loArr, hiArr [8]float64
+	var lo, hi []float64
+	if k <= len(loArr) {
+		lo, hi = loArr[:k], hiArr[:k]
+	} else {
+		lo, hi = make([]float64, k), make([]float64, k)
+	}
 	for j := range hi {
+		lo[j] = 0
 		hi[j] = 1
 	}
 	var c Code

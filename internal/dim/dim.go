@@ -111,8 +111,15 @@ type System struct {
 	// tracer records structured events; nil disables tracing.
 	tracer *trace.Tracer
 
-	// arq is the per-hop retransmission budget for routed unicasts.
+	// arq is the per-hop retransmission budget for routed unicasts; its
+	// PathBuf points at pathBuf so route paths reuse one backing array.
 	arq dcs.TxOptions
+	// pathBuf, zoneBuf, visitBuf, and answered are query/insert hot-path
+	// scratch, reused across operations. A System is single-goroutine.
+	pathBuf  []int
+	zoneBuf  []Zone
+	visitBuf []zoneVisit
+	answered map[int]bool
 
 	// storage holds the events stored at each node.
 	storage [][]event.Event
@@ -148,6 +155,7 @@ func New(net *network.Network, router *gpsr.Router, dims int, opts ...Option) (*
 	for _, o := range opts {
 		o.apply(s)
 	}
+	s.arq.PathBuf = &s.pathBuf
 	s.buildZones()
 	if s.reg != nil {
 		s.enableMetrics(s.reg)
@@ -281,14 +289,26 @@ func (s *System) Insert(origin int, e event.Event) error {
 // RelevantZones returns the zones whose value regions overlap the
 // (rewritten) query — the zones DIM must visit.
 func (s *System) RelevantZones(q event.Query) []Zone {
-	q = q.Rewrite()
-	region := make([]geo.Interval, s.dims)
+	return s.appendRelevantZones(nil, q.Rewrite())
+}
+
+// appendRelevantZones appends the zones overlapping the
+// already-rewritten query to dst and returns the extended slice — the
+// allocation-free form of RelevantZones for per-query hot paths. The
+// descent's region scratch stays on the stack for realistic k.
+func (s *System) appendRelevantZones(dst []Zone, rq event.Query) []Zone {
+	var regionArr [8]geo.Interval
+	var region []geo.Interval
+	if s.dims <= len(regionArr) {
+		region = regionArr[:s.dims]
+	} else {
+		region = make([]geo.Interval, s.dims)
+	}
 	for j := range region {
 		region[j] = geo.Iv(0, 1)
 	}
-	var out []Zone
-	s.collect(s.root, 0, region, q, &out)
-	return out
+	s.collect(s.root, 0, region, rq, &dst)
+	return dst
 }
 
 func (s *System) collect(t *treeNode, depth int, region []geo.Interval, q event.Query, out *[]Zone) {
@@ -372,8 +392,14 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 
 	var results []event.Event
 	// A node may own several relevant zones (backup ownership of empty
-	// zones); its storage is scanned and answered only once.
-	answered := make(map[int]bool, len(visits))
+	// zones); its storage is scanned and answered only once. The scratch
+	// map is reused across queries.
+	if s.answered == nil {
+		s.answered = make(map[int]bool, len(visits))
+	} else {
+		clear(s.answered)
+	}
+	answered := s.answered
 	for _, v := range visits {
 		owner := v.zone.Owner
 		if answered[owner] {
@@ -427,9 +453,10 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 // unreachable after one retry is recorded in comp and skipped; the chain
 // continues from the previous carrier.
 func (s *System) disseminateChain(sink int, rq event.Query, qBytes int, comp *dcs.Completeness) ([]zoneVisit, error) {
-	zones := s.RelevantZones(rq)
+	zones := s.appendRelevantZones(s.zoneBuf[:0], rq)
+	s.zoneBuf = zones
 	comp.CellsTotal += len(zones)
-	visits := make([]zoneVisit, 0, len(zones))
+	visits := s.visitBuf[:0]
 	cur := sink
 	for _, z := range zones {
 		if z.Owner != cur {
@@ -451,6 +478,7 @@ func (s *System) disseminateChain(sink int, rq event.Query, qBytes int, comp *dc
 		}
 		visits = append(visits, zoneVisit{zone: z, ok: true})
 	}
+	s.visitBuf = visits
 	return visits, nil
 }
 

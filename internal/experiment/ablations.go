@@ -19,22 +19,29 @@ func InsertCost(cfg Config) (*Result, error) {
 	title := "Insertion cost (avg messages/event)"
 	table := texttable.New(title, "NetworkSize", "DIM", "Pool")
 
-	for _, n := range cfg.NetworkSizes {
+	rows, err := forEach(cfg.parallel(), len(cfg.NetworkSizes), func(i int) ([2]float64, error) {
+		n := cfg.NetworkSizes[i]
 		src := rng.New(cfg.Seed + int64(n) + 9000)
 		env, err := NewEnv(n, cfg.Dims, src)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		if err := env.InsertAll(events); err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		perEvent := func(net *network.Network) float64 {
-			return float64(net.Snapshot().Messages[network.KindInsert]) / float64(len(events))
+			return float64(net.Messages(network.KindInsert)) / float64(len(events))
 		}
+		return [2]float64{perEvent(env.DIMNet), perEvent(env.PoolNet)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.NetworkSizes {
 		table.AddRow(texttable.Int(n),
-			texttable.Float(perEvent(env.DIMNet), 1),
-			texttable.Float(perEvent(env.PoolNet), 1))
+			texttable.Float(rows[i][0], 1),
+			texttable.Float(rows[i][1], 1))
 	}
 	return &Result{ID: "ablation-insert", Title: title, Table: table}, nil
 }
@@ -126,29 +133,34 @@ func PoolSize(cfg Config, sides []int) (*Result, error) {
 	title := fmt.Sprintf("Pool side-length ablation, N=%d", cfg.PartialSize)
 	table := texttable.New(title, "PoolSide", "IndexNodes", "Pool msgs/query")
 
-	for _, side := range sides {
+	type row struct {
+		indexNodes int
+		perQuery   float64
+	}
+	rows, err := forEach(cfg.parallel(), len(sides), func(i int) (row, error) {
+		side := sides[i]
 		src := rng.New(cfg.Seed + 9200 + int64(side))
 		env, err := NewEnv(cfg.PartialSize, cfg.Dims, src, pool.WithPoolSide(side))
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		for _, pe := range events {
 			if err := env.Pool.Insert(pe.Origin, pe.Event); err != nil {
-				return nil, err
+				return row{}, err
 			}
 		}
 
 		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 		sinkSrc := src.Fork("sinks")
-		before := env.PoolNet.Snapshot()
+		before := env.PoolNet.Messages(network.KindQuery) + env.PoolNet.Messages(network.KindReply)
 		for i := 0; i < cfg.Queries; i++ {
 			if _, err := env.Pool.Query(sinkSrc.Intn(cfg.PartialSize), qgen.ExactMatch(workload.ExponentialSizes)); err != nil {
-				return nil, err
+				return row{}, err
 			}
 		}
-		diff := env.PoolNet.Diff(before)
-		perQuery := float64(diff.Messages[network.KindQuery]+diff.Messages[network.KindReply]) / float64(cfg.Queries)
+		delta := env.PoolNet.Messages(network.KindQuery) + env.PoolNet.Messages(network.KindReply) - before
+		perQuery := float64(delta) / float64(cfg.Queries)
 
 		indexNodes := make(map[int]bool)
 		for _, p := range env.Pool.Pools() {
@@ -156,7 +168,13 @@ func PoolSize(cfg Config, sides []int) (*Result, error) {
 				indexNodes[env.Pool.IndexNode(c)] = true
 			}
 		}
-		table.AddRow(texttable.Int(side), texttable.Int(len(indexNodes)), texttable.Float(perQuery, 1))
+		return row{indexNodes: len(indexNodes), perQuery: perQuery}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, side := range sides {
+		table.AddRow(texttable.Int(side), texttable.Int(rows[i].indexNodes), texttable.Float(rows[i].perQuery, 1))
 	}
 	return &Result{ID: "ablation-poolsize", Title: title, Table: table}, nil
 }
@@ -201,28 +219,35 @@ func PointQuery(cfg Config) (*Result, error) {
 	}
 
 	cost := func(net *network.Network, run func(pq PlacedQuery) error) (float64, error) {
-		before := net.Snapshot()
+		before := net.Messages(network.KindQuery) + net.Messages(network.KindReply)
 		for _, pq := range queries {
 			if err := run(pq); err != nil {
 				return 0, err
 			}
 		}
-		diff := net.Diff(before)
-		return float64(diff.Messages[network.KindQuery]+diff.Messages[network.KindReply]) / float64(len(queries)), nil
+		delta := net.Messages(network.KindQuery) + net.Messages(network.KindReply) - before
+		return float64(delta) / float64(len(queries)), nil
 	}
 
-	ghtQ, err := cost(ghtNet, func(pq PlacedQuery) error { _, err := g.Query(pq.Sink, pq.Query); return err })
+	// The three systems run over disjoint networks and share only the
+	// (planarized, read-only) router, so their query passes fan out.
+	env.Router.PlanarNeighbors(0)
+	passes := []func() (float64, error){
+		func() (float64, error) {
+			return cost(ghtNet, func(pq PlacedQuery) error { _, err := g.Query(pq.Sink, pq.Query); return err })
+		},
+		func() (float64, error) {
+			return cost(env.DIMNet, func(pq PlacedQuery) error { _, err := env.DIM.Query(pq.Sink, pq.Query); return err })
+		},
+		func() (float64, error) {
+			return cost(env.PoolNet, func(pq PlacedQuery) error { _, err := env.Pool.Query(pq.Sink, pq.Query); return err })
+		},
+	}
+	costs, err := forEach(cfg.parallel(), len(passes), func(i int) (float64, error) { return passes[i]() })
 	if err != nil {
 		return nil, err
 	}
-	dimQ, err := cost(env.DIMNet, func(pq PlacedQuery) error { _, err := env.DIM.Query(pq.Sink, pq.Query); return err })
-	if err != nil {
-		return nil, err
-	}
-	poolQ, err := cost(env.PoolNet, func(pq PlacedQuery) error { _, err := env.Pool.Query(pq.Sink, pq.Query); return err })
-	if err != nil {
-		return nil, err
-	}
+	ghtQ, dimQ, poolQ := costs[0], costs[1], costs[2]
 
 	perEvent := func(net *network.Network) float64 {
 		return float64(net.Snapshot().Messages[network.KindInsert]) / float64(len(events))

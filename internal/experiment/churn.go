@@ -80,7 +80,10 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		"GHT recall", "GHT compl", "GHT msgs",
 		"Detect p50 ms", "Detect p95 ms", "Drops")
 
-	for _, pct := range churnPcts {
+	// Each churn rate is a self-contained simulation — its own scheduler,
+	// layout, and four universes — so the rates fan out across workers.
+	renderedRows, err := forEach(cfg.parallel(), len(churnPcts), func(pcti int) ([]string, error) {
+		pct := churnPcts[pcti]
 		n := cfg.PartialSize
 		src := rng.New(cfg.Seed + 9900 + int64(pct))
 		layout, err := field.Generate(field.DefaultSpec(n), src.Fork("layout"))
@@ -260,6 +263,12 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			texttable.Int(int(detect.Quantile(50))),
 			texttable.Int(int(detect.Quantile(95))),
 			texttable.Int(int(drops)))
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range renderedRows {
 		table.AddRow(row...)
 	}
 	return &Result{ID: "ablation-churn", Title: title, Table: table}, nil

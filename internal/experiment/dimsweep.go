@@ -19,15 +19,16 @@ func DimSweep(cfg Config, dims []int) (*Result, error) {
 	table := texttable.New(title, "k",
 		"DIM exact", "Pool exact", "DIM 1-partial", "Pool 1-partial")
 
-	for _, k := range dims {
+	rows, err := forEach(cfg.parallel(), len(dims), func(ki int) ([4]float64, error) {
+		k := dims[ki]
 		src := rng.New(cfg.Seed + 9900 + int64(k))
 		env, err := NewEnv(cfg.PartialSize, k, src)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), k))
 		if err := env.InsertAll(events); err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 
 		qgen := workload.NewQueries(src.Fork("queries"), k)
@@ -39,21 +40,27 @@ func DimSweep(cfg Config, dims []int) (*Result, error) {
 			exact[i] = PlacedQuery{Sink: sink, Query: qgen.ExactMatch(workload.ExponentialSizes)}
 			pq, err := qgen.MPartial(1)
 			if err != nil {
-				return nil, err
+				return [4]float64{}, err
 			}
 			partial[i] = PlacedQuery{Sink: sink, Query: pq}
 		}
 		poolExact, dimExact, err := env.QueryCosts(exact)
 		if err != nil {
-			return nil, fmt.Errorf("k=%d exact: %w", k, err)
+			return [4]float64{}, fmt.Errorf("k=%d exact: %w", k, err)
 		}
 		poolPartial, dimPartial, err := env.QueryCosts(partial)
 		if err != nil {
-			return nil, fmt.Errorf("k=%d partial: %w", k, err)
+			return [4]float64{}, fmt.Errorf("k=%d partial: %w", k, err)
 		}
+		return [4]float64{dimExact, poolExact, dimPartial, poolPartial}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range dims {
 		table.AddRow(texttable.Int(k),
-			texttable.Float(dimExact, 1), texttable.Float(poolExact, 1),
-			texttable.Float(dimPartial, 1), texttable.Float(poolPartial, 1))
+			texttable.Float(rows[i][0], 1), texttable.Float(rows[i][1], 1),
+			texttable.Float(rows[i][2], 1), texttable.Float(rows[i][3], 1))
 	}
 	return &Result{ID: "ablation-dimsweep", Title: title, Table: table}, nil
 }

@@ -30,6 +30,9 @@ func Energy(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One deployment, so parallelism comes from the concurrent pool/dim
+	// query passes; each pass writes only its own registry.
+	env.Workers = cfg.parallel()
 	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 	if err := env.InsertAll(events); err != nil {
 		return nil, err

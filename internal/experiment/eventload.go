@@ -21,15 +21,16 @@ func EventLoad(cfg Config, perNode []int) (*Result, error) {
 	table := texttable.New(title, "Events/node",
 		"DIM query", "DIM reply", "Pool query", "Pool reply")
 
-	for _, per := range perNode {
+	rows, err := forEach(cfg.parallel(), len(perNode), func(pi int) ([4]float64, error) {
+		per := perNode[pi]
 		src := rng.New(cfg.Seed + 9960 + int64(per))
 		env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		events := GenerateEvents(env.Layout, per, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		if err := env.InsertAll(events); err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 
 		// Fixed query population across rows (same generator seed).
@@ -40,19 +41,28 @@ func EventLoad(cfg Config, perNode []int) (*Result, error) {
 			queries[i] = PlacedQuery{Sink: sinkSrc.Intn(cfg.PartialSize), Query: qsrc.ExactMatch(workload.UniformSizes)}
 		}
 
-		dimBefore := env.DIMNet.Snapshot()
-		poolBefore := env.PoolNet.Snapshot()
+		dimQBefore, dimRBefore := env.DIMNet.Messages(network.KindQuery), env.DIMNet.Messages(network.KindReply)
+		poolQBefore, poolRBefore := env.PoolNet.Messages(network.KindQuery), env.PoolNet.Messages(network.KindReply)
 		if _, _, err := env.QueryCosts(queries); err != nil {
-			return nil, fmt.Errorf("per=%d: %w", per, err)
+			return [4]float64{}, fmt.Errorf("per=%d: %w", per, err)
 		}
-		dimDiff := env.DIMNet.Diff(dimBefore)
-		poolDiff := env.PoolNet.Diff(poolBefore)
 		nq := float64(cfg.Queries)
+		return [4]float64{
+			float64(env.DIMNet.Messages(network.KindQuery)-dimQBefore) / nq,
+			float64(env.DIMNet.Messages(network.KindReply)-dimRBefore) / nq,
+			float64(env.PoolNet.Messages(network.KindQuery)-poolQBefore) / nq,
+			float64(env.PoolNet.Messages(network.KindReply)-poolRBefore) / nq,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, per := range perNode {
 		table.AddRow(texttable.Int(per),
-			texttable.Float(float64(dimDiff.Messages[network.KindQuery])/nq, 1),
-			texttable.Float(float64(dimDiff.Messages[network.KindReply])/nq, 1),
-			texttable.Float(float64(poolDiff.Messages[network.KindQuery])/nq, 1),
-			texttable.Float(float64(poolDiff.Messages[network.KindReply])/nq, 1))
+			texttable.Float(rows[i][0], 1),
+			texttable.Float(rows[i][1], 1),
+			texttable.Float(rows[i][2], 1),
+			texttable.Float(rows[i][3], 1))
 	}
 	return &Result{ID: "ablation-eventload", Title: title, Table: table}, nil
 }

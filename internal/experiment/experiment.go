@@ -8,7 +8,9 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
+	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
 	"pooldcs/internal/event"
 	"pooldcs/internal/field"
@@ -36,6 +38,11 @@ type Config struct {
 	NetworkSizes []int
 	// PartialSize is the fixed deployment size of Figure 7 (paper: 900).
 	PartialSize int
+	// Parallel bounds the number of worker goroutines used to fan
+	// independent trials of a table across cores: 1 forces a sequential
+	// run, 0 (the default) uses GOMAXPROCS. Every trial seeds its own
+	// random source, so the tables are byte-identical at any setting.
+	Parallel int
 }
 
 // Default returns the paper's §5.1 parameters.
@@ -84,6 +91,14 @@ type Env struct {
 	DIMNet  *network.Network
 	Pool    *pool.System
 	DIM     *dim.System
+
+	// Workers, when > 1, lets QueryCosts run its pool pass and dim pass
+	// concurrently. The two passes share only the router, which is
+	// planarized up front and then read-only.
+	Workers int
+
+	// seqBuf is the reusable scratch map of sameEvents.
+	seqBuf map[uint64]int
 }
 
 // NewEnv builds a connected deployment of n nodes and both systems.
@@ -153,33 +168,72 @@ type PlacedQuery struct {
 	Query event.Query
 }
 
+// queryPass sends every query through one system and returns the total
+// query-processing traffic (query forwarding plus reply messages) the
+// pass cost, storing each result set into res. Only this system's
+// queries move this network's counters, so the whole-pass counter delta
+// equals the sum of the per-query deltas the sequential accounting took.
+func queryPass(name string, net *network.Network, sys dcs.System, queries []PlacedQuery, res [][]event.Event) (uint64, error) {
+	before := net.Messages(network.KindQuery) + net.Messages(network.KindReply)
+	for qi, pq := range queries {
+		r, err := sys.Query(pq.Sink, pq.Query)
+		if err != nil {
+			return 0, fmt.Errorf("%s query %d: %w", name, qi, err)
+		}
+		res[qi] = r
+	}
+	return net.Messages(network.KindQuery) + net.Messages(network.KindReply) - before, nil
+}
+
 // QueryCosts runs the same queries through both systems and returns the
 // average query-processing cost per query (query forwarding plus reply
 // messages, the paper's metric). Both systems must return identical result
 // sets; a mismatch is reported as an error since it indicates a
 // correctness bug.
+//
+// With Workers > 1 the pool pass and the dim pass run concurrently: each
+// pass touches only its own system, network, and result slice, and the
+// shared router is planarized up front so routing stays read-only. The
+// traffic totals and the per-query result comparison are identical either
+// way.
 func (e *Env) QueryCosts(queries []PlacedQuery) (poolAvg, dimAvg float64, err error) {
+	poolRes := make([][]event.Event, len(queries))
+	dimRes := make([][]event.Event, len(queries))
 	var poolTotal, dimTotal uint64
-	for qi, pq := range queries {
-		beforeP := e.PoolNet.Snapshot()
-		poolRes, err := e.Pool.Query(pq.Sink, pq.Query)
-		if err != nil {
-			return 0, 0, fmt.Errorf("pool query %d: %w", qi, err)
+	if e.Workers > 1 && len(queries) > 0 {
+		if e.Layout.N() > 0 {
+			e.Router.PlanarNeighbors(0) // planarize before sharing
 		}
-		dp := e.PoolNet.Diff(beforeP)
-		poolTotal += dp.Messages[network.KindQuery] + dp.Messages[network.KindReply]
-
-		beforeD := e.DIMNet.Snapshot()
-		dimRes, err := e.DIM.Query(pq.Sink, pq.Query)
-		if err != nil {
-			return 0, 0, fmt.Errorf("dim query %d: %w", qi, err)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var dimErr error
+		go func() {
+			defer wg.Done()
+			dimTotal, dimErr = queryPass("dim", e.DIMNet, e.DIM, queries, dimRes)
+		}()
+		poolTotal, err = queryPass("pool", e.PoolNet, e.Pool, queries, poolRes)
+		wg.Wait()
+		if err == nil {
+			err = dimErr
 		}
-		dd := e.DIMNet.Diff(beforeD)
-		dimTotal += dd.Messages[network.KindQuery] + dd.Messages[network.KindReply]
-
-		if !sameEvents(poolRes, dimRes) {
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		if poolTotal, err = queryPass("pool", e.PoolNet, e.Pool, queries, poolRes); err != nil {
+			return 0, 0, err
+		}
+		if dimTotal, err = queryPass("dim", e.DIMNet, e.DIM, queries, dimRes); err != nil {
+			return 0, 0, err
+		}
+	}
+	if e.seqBuf == nil {
+		e.seqBuf = make(map[uint64]int)
+	}
+	for qi := range queries {
+		if !sameEventsBuf(e.seqBuf, poolRes[qi], dimRes[qi]) {
 			return 0, 0, fmt.Errorf("query %d (%v): pool returned %d events, dim %d — result sets differ",
-				qi, pq.Query, len(poolRes), len(dimRes))
+				qi, queries[qi].Query, len(poolRes[qi]), len(dimRes[qi]))
 		}
 	}
 	n := float64(len(queries))
@@ -188,10 +242,16 @@ func (e *Env) QueryCosts(queries []PlacedQuery) (poolAvg, dimAvg float64, err er
 
 // sameEvents compares result sets by sequence number.
 func sameEvents(a, b []event.Event) bool {
+	return sameEventsBuf(make(map[uint64]int, len(a)), a, b)
+}
+
+// sameEventsBuf is sameEvents with a caller-owned scratch map, cleared on
+// entry, so per-query comparisons in hot loops allocate nothing.
+func sameEventsBuf(seen map[uint64]int, a, b []event.Event) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	seen := make(map[uint64]int, len(a))
+	clear(seen)
 	for _, e := range a {
 		seen[e.Seq]++
 	}

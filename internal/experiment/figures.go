@@ -28,15 +28,18 @@ func Fig6(cfg Config, dist workload.RangeSizeDist) (*Result, error) {
 		population[i] = qgen.ExactMatch(dist)
 	}
 
-	for _, n := range cfg.NetworkSizes {
+	// Each network size is an independent trial with its own seed, so the
+	// sizes fan out across workers and the rows land in sweep order.
+	rows, err := forEach(cfg.parallel(), len(cfg.NetworkSizes), func(i int) ([2]float64, error) {
+		n := cfg.NetworkSizes[i]
 		src := rng.New(cfg.Seed + int64(n))
 		env, err := NewEnv(n, cfg.Dims, src)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		if err := env.InsertAll(events); err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 
 		sinkSrc := src.Fork("sinks")
@@ -47,9 +50,15 @@ func Fig6(cfg Config, dist workload.RangeSizeDist) (*Result, error) {
 
 		poolAvg, dimAvg, err := env.QueryCosts(queries)
 		if err != nil {
-			return nil, fmt.Errorf("n=%d: %w", n, err)
+			return [2]float64{}, fmt.Errorf("n=%d: %w", n, err)
 		}
-		table.AddRow(texttable.Int(n), texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1))
+		return [2]float64{poolAvg, dimAvg}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.NetworkSizes {
+		table.AddRow(texttable.Int(n), texttable.Float(rows[i][1], 1), texttable.Float(rows[i][0], 1))
 	}
 	return &Result{ID: id, Title: title, Table: table}, nil
 }
@@ -65,6 +74,9 @@ func Fig7a(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The rows share one deployment, so parallelism comes from running
+	// the pool and dim passes of each row concurrently.
+	env.Workers = cfg.parallel()
 	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 	if err := env.InsertAll(events); err != nil {
 		return nil, err
@@ -125,6 +137,7 @@ func Fig7b(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.Workers = cfg.parallel()
 	events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 	if err := env.InsertAll(events); err != nil {
 		return nil, err

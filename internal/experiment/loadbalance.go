@@ -88,25 +88,35 @@ func LoadBalance(cfg Config) (*Result, error) {
 
 	// The skewed workload of the hotspot ablation: events cluster around
 	// one value region, queries follow the paper's exponential range-size
-	// distribution.
+	// distribution. The population is drawn once (keeping the fork order
+	// of the sequential engine) and then replayed into each universe;
+	// every universe sees the identical call sequence, so its counters
+	// cannot depend on whether the replays are interleaved or fanned out
+	// over workers through the shared, planarized read-only router.
 	gen := workload.NewHotspotEvents(src.Fork("events"), hotspotCenter(cfg.Dims), 0.02)
-	for _, pe := range GenerateEvents(layout, cfg.EventsPerNode, gen) {
-		for _, u := range universes {
-			if err := u.sys.Insert(pe.Origin, pe.Event); err != nil {
-				return nil, fmt.Errorf("loadbalance: %s insert: %w", u.name, err)
-			}
-		}
-	}
+	events := GenerateEvents(layout, cfg.EventsPerNode, gen)
 	qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 	sinkSrc := src.Fork("sinks")
-	for qi := 0; qi < cfg.Queries; qi++ {
-		sink := sinkSrc.Intn(cfg.PartialSize)
-		q := qgen.ExactMatch(workload.ExponentialSizes)
-		for _, u := range universes {
-			if _, err := u.sys.Query(sink, q); err != nil {
-				return nil, fmt.Errorf("loadbalance: %s query %d: %w", u.name, qi, err)
+	queries := make([]PlacedQuery, cfg.Queries)
+	for qi := range queries {
+		queries[qi] = PlacedQuery{Sink: sinkSrc.Intn(cfg.PartialSize), Query: qgen.ExactMatch(workload.ExponentialSizes)}
+	}
+	router.PlanarNeighbors(0)
+	if _, err := forEach(cfg.parallel(), len(universes), func(ui int) (struct{}, error) {
+		u := universes[ui]
+		for _, pe := range events {
+			if err := u.sys.Insert(pe.Origin, pe.Event); err != nil {
+				return struct{}{}, fmt.Errorf("loadbalance: %s insert: %w", u.name, err)
 			}
 		}
+		for qi, pq := range queries {
+			if _, err := u.sys.Query(pq.Sink, pq.Query); err != nil {
+				return struct{}{}, fmt.Errorf("loadbalance: %s query %d: %w", u.name, qi, err)
+			}
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
 	}
 
 	for _, u := range universes {

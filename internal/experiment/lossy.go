@@ -22,12 +22,15 @@ func Lossy(cfg Config, rates []float64) (*Result, error) {
 	title := fmt.Sprintf("Lossy links with ARQ, N=%d (exponential range sizes, avg frames/query)", cfg.PartialSize)
 	table := texttable.New(title, "LossRate", "DIM", "Pool", "DIM inflation", "Pool inflation")
 
-	var dimBase, poolBase float64
-	for i, p := range rates {
+	// Every rate rebuilds the same deployment from the same seed, so the
+	// rows are independent trials; the inflation columns (row value over
+	// the first row's value) are computed after collection.
+	rows, err := forEach(cfg.parallel(), len(rates), func(i int) ([2]float64, error) {
+		p := rates[i]
 		src := rng.New(cfg.Seed + 9970) // same deployment for every rate
 		layout, err := field.Generate(field.DefaultSpec(cfg.PartialSize), src.Fork("layout"))
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		router := gpsr.New(layout)
 		// Fork unconditionally: rng.Fork advances the parent stream, so a
@@ -44,16 +47,16 @@ func Lossy(cfg Config, rates []float64) (*Result, error) {
 		dimNet := network.New(layout, dimOpts...)
 		ps, err := pool.New(poolNet, router, cfg.Dims, src.Fork("pivots"))
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		ds, err := dim.New(dimNet, router, cfg.Dims)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		env := &Env{Layout: layout, Router: router, PoolNet: poolNet, DIMNet: dimNet, Pool: ps, DIM: ds}
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		if err := env.InsertAll(events); err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 		sinkSrc := src.Fork("sinks")
@@ -63,11 +66,16 @@ func Lossy(cfg Config, rates []float64) (*Result, error) {
 		}
 		poolAvg, dimAvg, err := env.QueryCosts(queries)
 		if err != nil {
-			return nil, fmt.Errorf("p=%v: %w", p, err)
+			return [2]float64{}, fmt.Errorf("p=%v: %w", p, err)
 		}
-		if i == 0 {
-			dimBase, poolBase = dimAvg, poolAvg
-		}
+		return [2]float64{poolAvg, dimAvg}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range rates {
+		poolAvg, dimAvg := rows[i][0], rows[i][1]
+		poolBase, dimBase := rows[0][0], rows[0][1]
 		table.AddRow(
 			texttable.Float(p, 2),
 			texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1),

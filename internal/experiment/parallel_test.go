@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSequential is the determinism contract of the
+// parallel engine: for every experiment family that exercises a distinct
+// fan-out shape — Churn (per-rate simulations), LoadBalance (per-universe
+// replay over a shared router), Energy (concurrent pool/dim query
+// passes) — the rendered table at Parallel=8 must be byte-identical to
+// the sequential run, across several seeds.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed table comparison is slow")
+	}
+	runs := []struct {
+		name string
+		run  func(cfg Config) (*Result, error)
+	}{
+		{"churn", func(cfg Config) (*Result, error) { return Churn(cfg, []int{0, 10}) }},
+		{"loadbalance", LoadBalance},
+		{"energy", Energy},
+	}
+	for _, seed := range []int64{42, 7, 1234} {
+		for _, r := range runs {
+			r := r
+			t.Run(fmt.Sprintf("%s/seed%d", r.name, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := Quick()
+				cfg.Seed = seed
+				cfg.Parallel = 1
+				seq, err := r.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Parallel = 8
+				par, err := r.run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.String() != par.String() {
+					t.Fatalf("parallel run diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+				}
+			})
+		}
+	}
+}
+
+// TestForEachOrderAndErrors pins the runner's contract: results come back
+// in index order regardless of worker count, and the error of the
+// lowest-indexed failing trial wins.
+func TestForEachOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := forEach(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d holds %d", workers, i, v)
+			}
+		}
+
+		_, err = forEach(workers, 50, func(i int) (int, error) {
+			if i == 7 || i == 31 {
+				return 0, fmt.Errorf("trial %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "trial 7 failed" {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+
+	if out, err := forEach(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty fan-out: got %v, %v", out, err)
+	}
+}

@@ -36,31 +36,32 @@ func Placement(cfg Config) (*Result, error) {
 		}},
 	}
 
-	for _, v := range variants {
+	rows, err := forEach(cfg.parallel(), len(variants), func(vi int) ([4]float64, error) {
+		v := variants[vi]
 		src := rng.New(cfg.Seed + 9950)
 		layout, err := v.gen(src.Fork("layout"))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return [4]float64{}, fmt.Errorf("%s: %w", v.name, err)
 		}
 		router := gpsr.New(layout)
 		poolNet := network.New(layout)
 		dimNet := network.New(layout)
 		p, err := pool.New(poolNet, router, cfg.Dims, src.Fork("pivots"))
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		d, err := dim.New(dimNet, router, cfg.Dims)
 		if err != nil {
-			return nil, err
+			return [4]float64{}, err
 		}
 		env := &Env{Layout: layout, Router: router, PoolNet: poolNet, DIMNet: dimNet, Pool: p, DIM: d}
 
 		events := GenerateEvents(layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		if err := env.InsertAll(events); err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return [4]float64{}, fmt.Errorf("%s: %w", v.name, err)
 		}
-		dimIns := float64(dimNet.Snapshot().Messages[network.KindInsert]) / float64(len(events))
-		poolIns := float64(poolNet.Snapshot().Messages[network.KindInsert]) / float64(len(events))
+		dimIns := float64(dimNet.Messages(network.KindInsert)) / float64(len(events))
+		poolIns := float64(poolNet.Messages(network.KindInsert)) / float64(len(events))
 
 		qgen := workload.NewQueries(src.Fork("queries"), cfg.Dims)
 		sinkSrc := src.Fork("sinks")
@@ -70,11 +71,17 @@ func Placement(cfg Config) (*Result, error) {
 		}
 		poolAvg, dimAvg, err := env.QueryCosts(queries)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return [4]float64{}, fmt.Errorf("%s: %w", v.name, err)
 		}
+		return [4]float64{dimAvg, poolAvg, dimIns, poolIns}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
 		table.AddRow(v.name,
-			texttable.Float(dimAvg, 1), texttable.Float(poolAvg, 1),
-			texttable.Float(dimIns, 1), texttable.Float(poolIns, 1))
+			texttable.Float(rows[i][0], 1), texttable.Float(rows[i][1], 1),
+			texttable.Float(rows[i][2], 1), texttable.Float(rows[i][3], 1))
 	}
 	return &Result{ID: "ablation-placement", Title: title, Table: table}, nil
 }

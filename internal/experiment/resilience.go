@@ -20,25 +20,30 @@ func Resilience(cfg Config, failPcts []int) (*Result, error) {
 	title := fmt.Sprintf("Query recall under node failures, N=%d", cfg.PartialSize)
 	table := texttable.New(title, "Failed%", "Pool recall", "Pool+replica recall", "RecoveryMsgs")
 
-	for _, pct := range failPcts {
+	type row struct {
+		plain, repl  float64
+		recoveryMsgs int
+	}
+	rows, err := forEach(cfg.parallel(), len(failPcts), func(i int) (row, error) {
+		pct := failPcts[i]
 		src := rng.New(cfg.Seed + 9800 + int64(pct))
 		env, err := NewEnv(cfg.PartialSize, cfg.Dims, src)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		replNet := network.New(env.Layout)
 		repl, err := pool.New(replNet, env.Router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication())
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 
 		events := GenerateEvents(env.Layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
 		for _, pe := range events {
 			if err := env.Pool.Insert(pe.Origin, pe.Event); err != nil {
-				return nil, err
+				return row{}, err
 			}
 			if err := repl.Insert(pe.Origin, pe.Event); err != nil {
-				return nil, err
+				return row{}, err
 			}
 		}
 
@@ -53,10 +58,10 @@ func Resilience(cfg Config, failPcts []int) (*Result, error) {
 			}
 			killed[v] = true
 			if err := env.Pool.FailNode(v); err != nil {
-				return nil, err
+				return row{}, err
 			}
 			if err := repl.FailNode(v); err != nil {
-				return nil, err
+				return row{}, err
 			}
 		}
 		sink := 0
@@ -67,17 +72,27 @@ func Resilience(cfg Config, failPcts []int) (*Result, error) {
 		full := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
 		plainGot, err := env.Pool.Query(sink, full)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		replGot, err := repl.Query(sink, full)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		total := float64(len(events))
+		return row{
+			plain:        float64(len(plainGot)) / total,
+			repl:         float64(len(replGot)) / total,
+			recoveryMsgs: int(repl.RecoveryMessages()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pct := range failPcts {
 		table.AddRow(texttable.Int(pct),
-			texttable.Float(float64(len(plainGot))/total, 3),
-			texttable.Float(float64(len(replGot))/total, 3),
-			texttable.Int(int(repl.RecoveryMessages())))
+			texttable.Float(rows[i].plain, 3),
+			texttable.Float(rows[i].repl, 3),
+			texttable.Int(rows[i].recoveryMsgs))
 	}
 	return &Result{ID: "ablation-resilience", Title: title, Table: table}, nil
 }

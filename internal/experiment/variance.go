@@ -28,30 +28,44 @@ func Variance(cfg Config, trials int) (*Result, error) {
 		population[i] = qgen.ExactMatch(workload.ExponentialSizes)
 	}
 
-	for _, n := range cfg.NetworkSizes {
+	// Every (size, trial) pair is an independent deployment, so the whole
+	// grid fans out flat; the per-trial averages come back in grid order
+	// and are folded into each row's Summary sequentially, keeping the
+	// float accumulation — and therefore the rendered table — identical
+	// to a sequential run.
+	sizes := cfg.NetworkSizes
+	grid, err := forEach(cfg.parallel(), len(sizes)*trials, func(i int) ([2]float64, error) {
+		n, trial := sizes[i/trials], i%trials
+		src := rng.New(cfg.Seed + int64(n)*100 + int64(trial))
+		env, err := NewEnv(n, cfg.Dims, src)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		events := GenerateEvents(env.Layout, cfg.EventsPerNode,
+			workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		if err := env.InsertAll(events); err != nil {
+			return [2]float64{}, err
+		}
+		sinkSrc := src.Fork("sinks")
+		queries := make([]PlacedQuery, cfg.Queries)
+		for i := range queries {
+			queries[i] = PlacedQuery{Sink: sinkSrc.Intn(n), Query: population[i]}
+		}
+		poolAvg, dimAvg, err := env.QueryCosts(queries)
+		if err != nil {
+			return [2]float64{}, fmt.Errorf("n=%d trial %d: %w", n, trial, err)
+		}
+		return [2]float64{poolAvg, dimAvg}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range sizes {
 		var dimSum, poolSum stats.Summary
 		for trial := 0; trial < trials; trial++ {
-			src := rng.New(cfg.Seed + int64(n)*100 + int64(trial))
-			env, err := NewEnv(n, cfg.Dims, src)
-			if err != nil {
-				return nil, err
-			}
-			events := GenerateEvents(env.Layout, cfg.EventsPerNode,
-				workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
-			if err := env.InsertAll(events); err != nil {
-				return nil, err
-			}
-			sinkSrc := src.Fork("sinks")
-			queries := make([]PlacedQuery, cfg.Queries)
-			for i := range queries {
-				queries[i] = PlacedQuery{Sink: sinkSrc.Intn(n), Query: population[i]}
-			}
-			poolAvg, dimAvg, err := env.QueryCosts(queries)
-			if err != nil {
-				return nil, fmt.Errorf("n=%d trial %d: %w", n, trial, err)
-			}
-			dimSum.Add(dimAvg)
-			poolSum.Add(poolAvg)
+			res := grid[si*trials+trial]
+			poolSum.Add(res[0])
+			dimSum.Add(res[1])
 		}
 		table.AddRow(texttable.Int(n),
 			texttable.Float(dimSum.Mean(), 1), texttable.Float(dimSum.CI95(), 1),

@@ -229,6 +229,65 @@ func TestNearestWithin(t *testing.T) {
 	}
 }
 
+func TestNearestWithinPointOutsideBounds(t *testing.T) {
+	l, err := FromPositions([]geo.Point{geo.Pt(1, 1), geo.Pt(99, 99)}, 100, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probes beyond the field boundary must still resolve through the
+	// bucket ring scan (negative bucket coordinates).
+	if got := l.NearestWithin(geo.Pt(-3, -4), 10); got != 0 {
+		t.Errorf("NearestWithin outside near corner = %d, want 0", got)
+	}
+	if got := l.NearestWithin(geo.Pt(-3, -4), 5); got != -1 {
+		t.Errorf("NearestWithin outside, radius short of node 0 = %d, want -1", got)
+	}
+	if got := l.NearestWithin(geo.Pt(200, 200), 1000); got != 1 {
+		t.Errorf("NearestWithin far outside, generous radius = %d, want 1", got)
+	}
+}
+
+func TestNearestWithinExactDistance(t *testing.T) {
+	l, err := FromPositions([]geo.Point{geo.Pt(10, 10), geo.Pt(20, 10)}, 100, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cutoff is inclusive: a node exactly dist away qualifies.
+	if got := l.NearestWithin(geo.Pt(10, 15), 5); got != 0 {
+		t.Errorf("NearestWithin at exact distance = %d, want 0", got)
+	}
+	// A probe equidistant from both nodes resolves to the lower ID.
+	if got := l.NearestWithin(geo.Pt(15, 10), 5); got != 0 {
+		t.Errorf("NearestWithin equidistant tie = %d, want 0", got)
+	}
+}
+
+func TestNearestWithinClusteredLayout(t *testing.T) {
+	// A clustered deployment leaves most buckets empty; the ring scan
+	// must walk through them to the far cluster instead of giving up.
+	pts := []geo.Point{
+		geo.Pt(2, 2), geo.Pt(3, 2), geo.Pt(2, 3), // cluster in one corner
+		geo.Pt(97, 97), // lone node in the opposite corner
+	}
+	l, err := FromPositions(pts, 100, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NearestWithin(geo.Pt(90, 90), 20); got != 3 {
+		t.Errorf("NearestWithin across empty buckets = %d, want 3", got)
+	}
+	if got := l.NearestWithin(geo.Pt(50, 50), 10); got != -1 {
+		t.Errorf("NearestWithin mid-gap, small radius = %d, want -1", got)
+	}
+	// (97,97) is marginally closer to mid-field than any cluster node.
+	if got := l.NearestWithin(geo.Pt(50, 50), 100); got != 3 {
+		t.Errorf("NearestWithin mid-gap, large radius = %d, want 3", got)
+	}
+	if got := l.NearestWithin(geo.Pt(10, 10), 100); got != 1 {
+		t.Errorf("NearestWithin near cluster = %d, want 1", got)
+	}
+}
+
 func TestLargerNetworkSizes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping large generation in -short mode")

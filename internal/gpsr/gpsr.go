@@ -35,6 +35,18 @@ type Router struct {
 	excluded  []bool
 	nExcluded int
 	dirty     bool
+
+	// pending lists the nodes whose exclusion state flipped since the
+	// last rebuild. A Gabriel witness for an edge (u,v) is always a radio
+	// neighbour of both endpoints, so flipping one node only changes the
+	// planar rows of that node and its radio neighbours; the lazy rebuild
+	// refreshes just those rows. pendingFull forces a full rebuild when
+	// the change set grew past the point where incremental wins.
+	pending     []int
+	pendingFull bool
+	// touched/epoch deduplicate row refreshes within one rebuild.
+	touched []int
+	epoch   int
 }
 
 // New builds a Router for layout, planarizing the unit-disc graph into its
@@ -53,7 +65,7 @@ func (r *Router) Exclude(id int) {
 	if id >= 0 && id < len(r.excluded) && !r.excluded[id] {
 		r.excluded[id] = true
 		r.nExcluded++
-		r.dirty = true
+		r.markChanged(id)
 	}
 }
 
@@ -62,8 +74,24 @@ func (r *Router) Restore(id int) {
 	if id >= 0 && id < len(r.excluded) && r.excluded[id] {
 		r.excluded[id] = false
 		r.nExcluded--
-		r.dirty = true
+		r.markChanged(id)
 	}
+}
+
+// markChanged queues a node for the next lazy re-planarization. Past
+// N/8 queued changes the incremental path would refresh most rows
+// anyway, so the rebuild falls back to a full pass.
+func (r *Router) markChanged(id int) {
+	r.dirty = true
+	if r.pendingFull {
+		return
+	}
+	if len(r.pending) >= len(r.excluded)/8 {
+		r.pendingFull = true
+		r.pending = r.pending[:0]
+		return
+	}
+	r.pending = append(r.pending, id)
 }
 
 // Excluded reports whether a node is currently excluded from routing.
@@ -80,49 +108,88 @@ func (r *Router) NumExcluded() int { return r.nExcluded }
 var ErrUnreachable = errors.New("gpsr: destination unreachable")
 
 // ensurePlanar rebuilds the planarization if the exclusion set changed.
+// Small change sets refresh only the affected rows (the flipped nodes
+// and their radio neighbours); large ones fall back to a full pass.
 func (r *Router) ensurePlanar() {
-	if r.dirty {
+	if !r.dirty {
+		return
+	}
+	if r.pendingFull || len(r.pending) == 0 {
 		r.planarize()
-		r.dirty = false
+	} else {
+		l := r.layout
+		r.epoch++
+		for _, id := range r.pending {
+			r.refreshNode(id)
+			for _, u := range l.Neighbors(id) {
+				r.refreshNode(u)
+			}
+		}
+	}
+	r.pending = r.pending[:0]
+	r.pendingFull = false
+	r.dirty = false
+}
+
+// refreshNode recomputes one planar row, at most once per rebuild epoch.
+func (r *Router) refreshNode(u int) {
+	if r.touched[u] == r.epoch {
+		return
+	}
+	r.touched[u] = r.epoch
+	r.planarizeNode(u)
+}
+
+// planarize computes the Gabriel graph of the alive subgraph. The planar
+// row backing arrays are reused across rebuilds: rows are truncated and
+// refilled in place, so steady-state rebuilds allocate nothing.
+func (r *Router) planarize() {
+	l := r.layout
+	if r.planar == nil {
+		r.planar = make([][]int, l.N())
+		r.touched = make([]int, l.N())
+	}
+	for u := 0; u < l.N(); u++ {
+		r.planarizeNode(u)
 	}
 }
 
-// planarize computes the Gabriel graph of the alive subgraph: the edge
+// planarizeNode recomputes the planar row of node u in place: the edge
 // (u,v) survives iff no alive witness node lies strictly inside the disc
 // with diameter uv. Any such witness is necessarily a radio neighbour of
 // both endpoints (its distance to each is at most |uv| ≤ radio range), so
 // scanning u's neighbour list suffices — exactly the local rule real GPSR
 // nodes apply, with dead neighbours evicted by the beacon protocol.
-func (r *Router) planarize() {
+func (r *Router) planarizeNode(u int) {
 	l := r.layout
-	r.planar = make([][]int, l.N())
-	for u := 0; u < l.N(); u++ {
-		if r.excluded[u] {
+	row := r.planar[u][:0]
+	if r.excluded[u] {
+		r.planar[u] = row
+		return
+	}
+	pu := l.Pos(u)
+	for _, v := range l.Neighbors(u) {
+		if r.excluded[v] {
 			continue
 		}
-		pu := l.Pos(u)
-		for _, v := range l.Neighbors(u) {
-			if r.excluded[v] {
+		pv := l.Pos(v)
+		mid := pu.Mid(pv)
+		rad2 := pu.Dist2(pv) / 4
+		keep := true
+		for _, w := range l.Neighbors(u) {
+			if w == v || r.excluded[w] {
 				continue
 			}
-			pv := l.Pos(v)
-			mid := pu.Mid(pv)
-			rad2 := pu.Dist2(pv) / 4
-			keep := true
-			for _, w := range l.Neighbors(u) {
-				if w == v || r.excluded[w] {
-					continue
-				}
-				if l.Pos(w).Dist2(mid) < rad2 {
-					keep = false
-					break
-				}
-			}
-			if keep {
-				r.planar[u] = append(r.planar[u], v)
+			if l.Pos(w).Dist2(mid) < rad2 {
+				keep = false
+				break
 			}
 		}
+		if keep {
+			row = append(row, v)
+		}
 	}
+	r.planar[u] = row
 }
 
 // Layout returns the deployment the router serves.
@@ -183,21 +250,31 @@ type packet struct {
 // node: the first node whose perimeter tour around the target finds no
 // node closer. Route is deterministic.
 func (r *Router) Route(src int, target geo.Point) (Result, error) {
-	return r.route(src, target, -1)
+	return r.route(src, target, -1, nil)
+}
+
+// RouteBuf is Route with a caller-provided path buffer: the returned
+// Result.Path reuses buf's backing array, so steady-state routing
+// allocates only when the path outgrows the buffer. The caller owns the
+// buffer and must not issue another buffered route while the result's
+// path is still in use.
+func (r *Router) RouteBuf(src int, target geo.Point, buf []int) (Result, error) {
+	return r.route(src, target, -1, buf)
 }
 
 // route implements Route. When consumeAt is non-negative, the packet is
 // addressed to that specific node and is consumed on arrival there instead
-// of probing the perimeter around its location.
-func (r *Router) route(src int, target geo.Point, consumeAt int) (Result, error) {
+// of probing the perimeter around its location. buf, when non-nil, backs
+// the result path.
+func (r *Router) route(src int, target geo.Point, consumeAt int, buf []int) (Result, error) {
 	l := r.layout
 	r.ensurePlanar()
 	if r.excluded[src] {
-		return Result{Path: []int{src}}, fmt.Errorf("gpsr: source %d is down: %w", src, ErrUnreachable)
+		return Result{Path: append(buf[:0], src)}, fmt.Errorf("gpsr: source %d is down: %w", src, ErrUnreachable)
 	}
 	pkt := packet{target: target, mode: modeGreedy, prev: -1}
 	cur := src
-	res := Result{Path: []int{src}}
+	res := Result{Path: append(buf[:0], src)}
 	ttl := 10*l.N() + 100
 
 	for hop := 0; ; hop++ {
@@ -348,11 +425,17 @@ func normAngle(a float64) float64 {
 // RouteToNode routes from src to node dst, addressing dst's own location.
 // The packet is consumed on arrival at dst without a perimeter probe.
 func (r *Router) RouteToNode(src, dst int) (Result, error) {
+	return r.RouteToNodeBuf(src, dst, nil)
+}
+
+// RouteToNodeBuf is RouteToNode with a caller-provided path buffer; see
+// RouteBuf for the aliasing contract.
+func (r *Router) RouteToNodeBuf(src, dst int, buf []int) (Result, error) {
 	r.ensurePlanar()
 	if dst >= 0 && dst < len(r.excluded) && r.excluded[dst] {
-		return Result{Path: []int{src}}, fmt.Errorf("gpsr: node %d is down: %w", dst, ErrUnreachable)
+		return Result{Path: append(buf[:0], src)}, fmt.Errorf("gpsr: node %d is down: %w", dst, ErrUnreachable)
 	}
-	res, err := r.route(src, r.layout.Pos(dst), dst)
+	res, err := r.route(src, r.layout.Pos(dst), dst, buf)
 	if err != nil {
 		return res, err
 	}

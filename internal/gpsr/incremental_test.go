@@ -1,0 +1,103 @@
+package gpsr
+
+import (
+	"testing"
+
+	"pooldcs/internal/rng"
+)
+
+// planarSnapshot deep-copies every planar row so later rebuilds cannot
+// alias it.
+func planarSnapshot(r *Router) [][]int {
+	r.ensurePlanar()
+	out := make([][]int, len(r.planar))
+	for i, row := range r.planar {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// TestIncrementalPlanarizationMatchesFullRebuild churns exclusions
+// through the incremental path and checks after every flip that the lazy
+// row refresh produced exactly the planarization a from-scratch rebuild
+// of the same exclusion set would.
+func TestIncrementalPlanarizationMatchesFullRebuild(t *testing.T) {
+	l := genLayout(t, 300, 21)
+	r := New(l)
+	src := rng.New(22)
+
+	var down []int
+	for step := 0; step < 60; step++ {
+		if len(down) > 0 && src.Bool(0.3) {
+			i := src.Intn(len(down))
+			r.Restore(down[i])
+			down = append(down[:i], down[i+1:]...)
+		} else {
+			id := src.Intn(l.N())
+			if r.Excluded(id) {
+				continue
+			}
+			r.Exclude(id)
+			down = append(down, id)
+		}
+		got := planarSnapshot(r)
+
+		// A fresh router with the same exclusion set always takes the
+		// full-rebuild path.
+		ref := New(l)
+		for _, id := range down {
+			ref.Exclude(id)
+		}
+		want := planarSnapshot(ref)
+
+		for u := range want {
+			if len(got[u]) != len(want[u]) {
+				t.Fatalf("step %d: node %d row length %d, full rebuild %d", step, u, len(got[u]), len(want[u]))
+			}
+			for j := range want[u] {
+				if got[u][j] != want[u][j] {
+					t.Fatalf("step %d: node %d row %v, full rebuild %v", step, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalFallsBackToFullRebuild floods the pending set past the
+// N/8 threshold in one batch and verifies the full-rebuild fallback
+// still yields the reference planarization.
+func TestIncrementalFallsBackToFullRebuild(t *testing.T) {
+	l := genLayout(t, 300, 23)
+	r := New(l)
+	src := rng.New(24)
+
+	var down []int
+	for len(down) < l.N()/4 {
+		id := src.Intn(l.N())
+		if r.Excluded(id) {
+			continue
+		}
+		r.Exclude(id)
+		down = append(down, id)
+	}
+	if !r.pendingFull {
+		t.Fatalf("expected pendingFull after %d exclusions", len(down))
+	}
+	got := planarSnapshot(r)
+
+	ref := New(l)
+	for _, id := range down {
+		ref.Exclude(id)
+	}
+	want := planarSnapshot(ref)
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Fatalf("node %d row length %d, full rebuild %d", u, len(got[u]), len(want[u]))
+		}
+		for j := range want[u] {
+			if got[u][j] != want[u][j] {
+				t.Fatalf("node %d row %v, full rebuild %v", u, got[u], want[u])
+			}
+		}
+	}
+}

@@ -163,6 +163,11 @@ type Network struct {
 	sched      *sim.Scheduler
 	hopLatency time.Duration
 
+	// reachedBuf backs the slice Broadcast returns; beaconing protocols
+	// broadcast once per node per round, so reusing one buffer removes an
+	// allocation per beacon.
+	reachedBuf []int
+
 	// tracer, when non-nil, receives one record per transmission. The
 	// nil tracer costs one pointer compare on the hot path.
 	tracer *trace.Tracer
@@ -502,8 +507,9 @@ func (n *Network) Transmit(from, to int, kind Kind, payloadBytes int) error {
 // reception per neighbour. Each reception is subject to the same lossy
 // model as unicast — independent per-receiver drops — so broadcast-based
 // beaconing pays the same reality tax; crashed or depleted neighbours
-// hear nothing. It returns the neighbours actually reached. A broadcast
-// from a dead node is silent and free. Used by beaconing protocols.
+// hear nothing. It returns the neighbours actually reached; the slice is
+// valid only until the next Broadcast call. A broadcast from a dead node
+// is silent and free. Used by beaconing protocols.
 func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 	if !n.Alive(from) {
 		return nil
@@ -525,7 +531,7 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 	// A broadcast is amplified to full radio range.
 	n.chargeTx(from, n.energy.Elec*bits+n.energy.Amp*bits*r*r)
 	rx := n.energy.Elec * bits
-	reached := make([]int, 0, len(nbrs))
+	reached := n.reachedBuf[:0]
 	lost := 0
 	for _, v := range nbrs {
 		if !n.Alive(v) {
@@ -544,6 +550,7 @@ func (n *Network) Broadcast(from int, kind Kind, payloadBytes int) []int {
 	if n.tracer != nil {
 		n.tracer.Broadcast(from, kind.String(), payloadBytes, int(frames), len(reached), lost)
 	}
+	n.reachedBuf = reached
 	return reached
 }
 
@@ -574,6 +581,18 @@ func (n *Network) Send(from, to int, kind Kind, payloadBytes int, deliver func()
 	deliver()
 	return nil
 }
+
+// Messages returns the running transmission count for one traffic kind.
+// Unlike Snapshot, it allocates nothing: per-query cost loops take the
+// before/after difference of the kinds they care about directly.
+func (n *Network) Messages(kind Kind) uint64 { return n.msgs[kind] }
+
+// PayloadBytes returns the running payload-byte count for one traffic
+// kind, the allocation-free companion of Messages.
+func (n *Network) PayloadBytes(kind Kind) uint64 { return n.bytes[kind] }
+
+// EnergyJ returns the total radio energy spent so far in joules.
+func (n *Network) EnergyJ() float64 { return n.energyJ }
 
 // Snapshot returns a copy of the current traffic counters.
 func (n *Network) Snapshot() Counters {

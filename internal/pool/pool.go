@@ -162,12 +162,30 @@ func (p Pool) RelevantOffsets(q event.Query) [][2]int {
 // RelevantCells returns the global cells of this Pool relevant to the
 // (already rewritten) query.
 func (p Pool) RelevantCells(q event.Query) []CellID {
-	offs := p.RelevantOffsets(q)
-	out := make([]CellID, len(offs))
-	for i, o := range offs {
-		out[i] = p.Pivot.Add(o[0], o[1])
+	return p.AppendRelevantCells(nil, q)
+}
+
+// AppendRelevantCells appends the global cells of this Pool relevant to
+// the (already rewritten) query to dst and returns the extended slice —
+// the allocation-free form of RelevantCells for per-query hot paths.
+func (p Pool) AppendRelevantCells(dst []CellID, q event.Query) []CellID {
+	rh, rv := p.QueryRanges(q)
+	if rh.Empty() || rv.Empty() {
+		return dst
 	}
-	return out
+	for ho := 0; ho < p.Side; ho++ {
+		h := p.RangeH(ho)
+		if !rh.OverlapsHalfOpen(h.Lo, h.Hi) {
+			continue
+		}
+		for vo := 0; vo < p.Side; vo++ {
+			v := p.RangeV(ho, vo)
+			if rv.OverlapsHalfOpen(v.Lo, v.Hi) {
+				dst = append(dst, p.Pivot.Add(ho, vo))
+			}
+		}
+	}
+	return dst
 }
 
 // StorageCandidates returns, for each dimension holding the event's

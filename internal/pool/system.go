@@ -126,8 +126,15 @@ type System struct {
 	// delegations counts workload-sharing segment creations.
 	delegations int
 
-	// arq is the per-hop retransmission budget for routed unicasts.
+	// arq is the per-hop retransmission budget for routed unicasts; its
+	// PathBuf points at pathBuf so route paths reuse one backing array.
 	arq dcs.TxOptions
+	// pathBuf, cellBuf, and servedBuf are query/insert hot-path scratch,
+	// reused across operations. A System is single-goroutine, so plain
+	// fields suffice.
+	pathBuf   []int
+	cellBuf   []CellID
+	servedBuf []servedCell
 
 	// tracer records structured events; nil disables tracing.
 	tracer *trace.Tracer
@@ -191,6 +198,7 @@ func New(net *network.Network, router *gpsr.Router, dims int, src *rng.Source, o
 		arq:       cfg.arq,
 		dead:      make([]bool, layout.N()),
 	}
+	s.arq.PathBuf = &s.pathBuf
 	if s.replicate {
 		s.mirrors = make(map[storeKey]int)
 		s.mirrorStore = make(map[storeKey][]event.Event)
@@ -495,6 +503,18 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 // and ght stay in lockstep.
 func degradable(err error) bool { return dcs.Degradable(err) }
 
+// servedCell records one reached cell of a fan-out and how many matches
+// the splitter holds for it, so the final reply leg can demote served
+// cells when the aggregate reply is lost.
+type servedCell struct {
+	cell    CellID
+	matches int
+}
+
+// cellLabel formats the human-readable id of one Pool cell for
+// completeness reports.
+func cellLabel(dim int, c CellID) string { return fmt.Sprintf("P%d %v", dim, c) }
+
 // queryPool resolves the (rewritten) query against one Pool: the query is
 // forwarded through the Pool's splitter to every relevant cell, and the
 // replies converge back through the splitter (§3.2.3). When tracing, the
@@ -507,14 +527,15 @@ func degradable(err error) bool { return dcs.Degradable(err) }
 // unreachable are recorded in comp and skipped. In a fault-free run the
 // traffic is identical, hop for hop, to the pre-degradation protocol.
 func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int, comp *dcs.Completeness) ([]event.Event, error) {
-	cells := p.RelevantCells(rq)
+	cells := p.AppendRelevantCells(s.cellBuf[:0], rq)
+	s.cellBuf = cells
 	if len(cells) == 0 {
 		return nil, nil
 	}
 	comp.CellsTotal += len(cells)
 	unreachedAll := func() {
 		for _, c := range cells {
-			comp.Unreached = append(comp.Unreached, fmt.Sprintf("P%d %v", p.Dim, c))
+			comp.Unreached = append(comp.Unreached, cellLabel(p.Dim, c))
 		}
 	}
 	splitter := s.SplitterFor(p, sink)
@@ -547,25 +568,24 @@ func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int, comp *d
 	s.mSplitter.Inc(splitter)
 	var poolResults []event.Event
 	// served tracks, per reached cell, the matches the splitter holds for
-	// it, so the final reply leg can demote them on failure.
-	type servedCell struct {
-		label   string
-		matches int
-	}
-	var served []servedCell
+	// it, so the final reply leg can demote them on failure. Labels are
+	// formatted only when a cell actually goes unreached — the fault-free
+	// path never pays for them.
+	served := s.servedBuf[:0]
 	for _, c := range cells {
-		label := fmt.Sprintf("P%d %v", p.Dim, c)
 		matches, ok, err := s.queryCellVia(p, storeKey{dim: p.Dim, cell: c}, splitter, rq, qBytes, comp)
 		if err != nil {
+			s.servedBuf = served
 			return nil, err
 		}
 		if !ok {
-			comp.Unreached = append(comp.Unreached, label)
+			comp.Unreached = append(comp.Unreached, cellLabel(p.Dim, c))
 			continue
 		}
-		served = append(served, servedCell{label: label, matches: len(matches)})
+		served = append(served, servedCell{cell: c, matches: len(matches)})
 		poolResults = append(poolResults, matches...)
 	}
+	s.servedBuf = served
 	if len(poolResults) > 0 {
 		if s.tracer.Enabled() {
 			s.tracer.Record(trace.TypeReply, splitter, len(poolResults), "")
@@ -585,7 +605,7 @@ func (s *System) queryPool(p Pool, sink int, rq event.Query, qBytes int, comp *d
 				// still count as served, as in the fault-free protocol.
 				for _, sc := range served {
 					if sc.matches > 0 {
-						comp.Unreached = append(comp.Unreached, sc.label)
+						comp.Unreached = append(comp.Unreached, cellLabel(p.Dim, sc.cell))
 					} else {
 						comp.CellsReached++
 					}
