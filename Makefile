@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench check bench bench-compare golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench micro-bench loadtest check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,13 @@ race:
 
 # The parallel experiment runner's determinism contract, exercised with
 # real contention: 8 scheduler threads regardless of host core count.
+# The load harness rides along — its saturation sweep fans out over the
+# same worker pool, and the poolload goldens must stay byte-identical
+# under the race detector.
 race-parallel:
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/experiment \
-		-run 'TestParallelMatchesSequential|TestForEachOrderAndErrors'
+		-run 'TestParallelMatchesSequential|TestForEachOrderAndErrors|TestSaturationParallelInvariance'
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./cmd/poolload -run Golden
 
 # Short fuzz smoke: random fault plans + queries must never panic or
 # over-report completeness, and the metrics exposition writer must stay
@@ -71,7 +75,26 @@ smoke-bench:
 		| tee /tmp/smoke-bench.out
 	$(GO) run ./cmd/benchjson -gate bench_baseline.json -tolerance 10 < /tmp/smoke-bench.out
 
-check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench
+# Micro-benchmark time gate. The archived -benchtime=1x diffs once
+# flagged these three kernels as regressed (+80%/+94%/+20%); re-measured
+# at stable iteration counts the deltas vanished — single-iteration
+# timings are startup noise, not signal. ns/op is only gated here, where
+# -benchtime is pinned and per-benchmark tolerances in
+# bench_micro_baseline.json absorb scheduler jitter.
+micro-bench:
+	$(GO) test . -run=NONE -benchmem -benchtime=2000000x \
+		-bench='^BenchmarkTransmitTracerDisabled$$|^BenchmarkSimulationFacade$$|^BenchmarkTheorem31InsertCell$$' 2>&1 \
+		| tee /tmp/micro-bench.out
+	$(GO) run ./cmd/benchjson -gate bench_micro_baseline.json -tolerance 10 < /tmp/micro-bench.out
+
+# Sustained-load smoke: the seeded quick poolload sweeps must reproduce
+# their golden throughput-vs-latency curves exactly, and the load
+# harness's own tests (admission hysteresis, station FIFO, knee
+# property) must pass.
+loadtest:
+	$(GO) test -count=1 ./cmd/poolload ./internal/load
+
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench micro-bench loadtest
 
 # Full benchmark sweep, archived as machine-readable JSON
 # (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing. A
@@ -96,3 +119,4 @@ golden:
 	$(GO) test ./cmd/poolsim -run Golden -update
 	$(GO) test ./cmd/pooltrace -run Golden -update
 	$(GO) test ./cmd/poolmon -run Golden -update
+	$(GO) test ./cmd/poolload -run Golden -update

@@ -16,7 +16,12 @@
 // -compare prints a benchstat-style delta table (ns/op, B/op,
 // allocs/op) between two archived reports. -gate parses a fresh bench
 // stream from stdin and fails when any benchmark's allocs/op regresses
-// more than -tolerance percent over the baseline report.
+// more than -tolerance percent over the baseline report, or its ns/op
+// regresses past its time tolerance. Time gating is opt-in — wall time
+// is only meaningful at stable iteration counts (never -benchtime=1x) —
+// and the tolerance resolves per benchmark: a "ns_tolerance_pct" field
+// in the baseline entry wins, else the -ns-tolerance flag, else 0
+// (disabled).
 package main
 
 import (
@@ -44,6 +49,11 @@ type Benchmark struct {
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// NsTolerancePct, set by hand in a baseline report, overrides the
+	// -ns-tolerance flag for this benchmark during -gate. Benchmarks with
+	// inherently noisy timing carry a wide tolerance (or none) while tight
+	// nanosecond-scale kernels gate strictly.
+	NsTolerancePct *float64 `json:"ns_tolerance_pct,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -70,6 +80,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	compare := fs.Bool("compare", false, "compare two archived reports: benchjson -compare old.json new.json")
 	gate := fs.String("gate", "", "baseline report; fail when stdin's allocs/op regress past -tolerance")
 	tolerance := fs.Float64("tolerance", 10, "allowed allocs/op regression in percent for -gate")
+	nsTolerance := fs.Float64("ns-tolerance", 0, "allowed ns/op regression in percent for -gate (0 disables; per-benchmark ns_tolerance_pct in the baseline overrides)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +94,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		if fs.NArg() > 0 {
 			return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 		}
-		return gateReport(in, *gate, *tolerance, stdout)
+		return gateReport(in, *gate, *tolerance, *nsTolerance, stdout)
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
@@ -304,10 +315,12 @@ func compareReports(oldPath, newPath string, out io.Writer) error {
 }
 
 // gateReport parses a fresh bench stream and fails when any baseline
-// benchmark's allocs/op regressed more than tolerance percent. Baseline
-// benchmarks missing from the stream fail too, so the gate cannot rot
-// silently when a benchmark is renamed.
-func gateReport(in io.Reader, baselinePath string, tolerance float64, out io.Writer) error {
+// benchmark's allocs/op regressed more than tolerance percent, or its
+// ns/op regressed past that benchmark's effective time tolerance
+// (ns_tolerance_pct in the baseline, else the global nsTolerance, else
+// disabled). Baseline benchmarks missing from the stream fail too, so
+// the gate cannot rot silently when a benchmark is renamed.
+func gateReport(in io.Reader, baselinePath string, tolerance, nsTolerance float64, out io.Writer) error {
 	base, err := loadReport(baselinePath)
 	if err != nil {
 		return err
@@ -324,30 +337,48 @@ func gateReport(in io.Reader, baselinePath string, tolerance float64, out io.Wri
 	var failures []string
 	checked := 0
 	for _, bb := range base.Benchmarks {
-		if bb.AllocsPerOp == nil {
+		nsTol := nsTolerance
+		if bb.NsTolerancePct != nil {
+			nsTol = *bb.NsTolerancePct
+		}
+		gateNs := nsTol > 0 && bb.NsPerOp > 0
+		if bb.AllocsPerOp == nil && !gateNs {
 			continue
 		}
 		cb, ok := curBy[benchKey(bb)]
-		if !ok || cb.AllocsPerOp == nil {
+		if !ok || (bb.AllocsPerOp != nil && cb.AllocsPerOp == nil) {
 			failures = append(failures, fmt.Sprintf("%s: missing from current run (or run without -benchmem)", bb.Name))
 			continue
 		}
 		checked++
-		limit := *bb.AllocsPerOp * (1 + tolerance/100)
-		status := "ok"
-		if *cb.AllocsPerOp > limit {
-			status = "FAIL"
-			failures = append(failures, fmt.Sprintf("%s: %g allocs/op exceeds baseline %g by more than %g%%",
-				bb.Name, *cb.AllocsPerOp, *bb.AllocsPerOp, tolerance))
+		if bb.AllocsPerOp != nil {
+			limit := *bb.AllocsPerOp * (1 + tolerance/100)
+			status := "ok"
+			if *cb.AllocsPerOp > limit {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %g allocs/op exceeds baseline %g by more than %g%%",
+					bb.Name, *cb.AllocsPerOp, *bb.AllocsPerOp, tolerance))
+			}
+			fmt.Fprintf(out, "%-40s baseline %10g  current %10g  (%s)  %s allocs/op\n",
+				bb.Name, *bb.AllocsPerOp, *cb.AllocsPerOp, delta(*bb.AllocsPerOp, *cb.AllocsPerOp), status)
 		}
-		fmt.Fprintf(out, "%-40s baseline %10g  current %10g  (%s)  %s\n",
-			bb.Name, *bb.AllocsPerOp, *cb.AllocsPerOp, delta(*bb.AllocsPerOp, *cb.AllocsPerOp), status)
+		if gateNs {
+			limit := bb.NsPerOp * (1 + nsTol/100)
+			status := "ok"
+			if cb.NsPerOp > limit {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %g ns/op exceeds baseline %g by more than %g%%",
+					bb.Name, cb.NsPerOp, bb.NsPerOp, nsTol))
+			}
+			fmt.Fprintf(out, "%-40s baseline %10g  current %10g  (%s)  %s ns/op (tol %g%%)\n",
+				bb.Name, bb.NsPerOp, cb.NsPerOp, delta(bb.NsPerOp, cb.NsPerOp), status, nsTol)
+		}
 	}
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("baseline %s has no allocs/op entries to gate on", baselinePath)
+		return fmt.Errorf("baseline %s has nothing to gate on (no allocs/op entries, no ns tolerances)", baselinePath)
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

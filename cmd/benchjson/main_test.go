@@ -162,6 +162,47 @@ func TestGateReport(t *testing.T) {
 	}
 }
 
+func TestGateNsPerOp(t *testing.T) {
+	baseline := writeReport(t, Report{Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 1000, AllocsPerOp: f64(100)},
+	}})
+
+	// ns/op regression invisible by default (time gating is opt-in).
+	var out strings.Builder
+	stream := "pkg: pooldcs\nBenchmarkFig6a-8 1000 5000 ns/op 10 B/op 100 allocs/op\n"
+	if err := run([]string{"-gate", baseline}, strings.NewReader(stream), &out); err != nil {
+		t.Fatalf("ns regression gated without opt-in: %v", err)
+	}
+
+	// -ns-tolerance turns it on globally.
+	err := run([]string{"-gate", baseline, "-ns-tolerance", "25"}, strings.NewReader(stream), &out)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Errorf("ns regression not caught with -ns-tolerance: %v", err)
+	}
+	stream = "pkg: pooldcs\nBenchmarkFig6a-8 1000 1100 ns/op 10 B/op 100 allocs/op\n"
+	if err := run([]string{"-gate", baseline, "-ns-tolerance", "25"}, strings.NewReader(stream), &out); err != nil {
+		t.Errorf("within-tolerance ns run failed: %v", err)
+	}
+
+	// A per-benchmark ns_tolerance_pct overrides the flag (tighter here).
+	strict := writeReport(t, Report{Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 1000, AllocsPerOp: f64(100), NsTolerancePct: f64(5)},
+	}})
+	err = run([]string{"-gate", strict, "-ns-tolerance", "50"}, strings.NewReader(stream), &out)
+	if err == nil || !strings.Contains(err.Error(), "5%") {
+		t.Errorf("per-benchmark tolerance did not override flag: %v", err)
+	}
+
+	// An ns-only baseline entry (no allocs) still gates time.
+	nsOnly := writeReport(t, Report{Benchmarks: []Benchmark{
+		{Pkg: "pooldcs", Name: "BenchmarkFig6a", NsPerOp: 1000, NsTolerancePct: f64(5)},
+	}})
+	stream = "pkg: pooldcs\nBenchmarkFig6a-8 1000 2000 ns/op\n"
+	if err := run([]string{"-gate", nsOnly}, strings.NewReader(stream), &out); err == nil {
+		t.Error("ns-only baseline did not gate")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"stray"}, strings.NewReader(""), &out); err == nil {

@@ -26,6 +26,7 @@ func TestGolden(t *testing.T) {
 		{"pointquery", []string{"-quick", "pointquery"}},
 		{"churn", []string{"-quick", "churn"}},
 		{"loadbalance", []string{"-quick", "loadbalance"}},
+		{"saturation", []string{"-quick", "saturation"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -8,7 +8,7 @@
 // Experiments: fig6a, fig6b, fig7a, fig7b, insert, hotspot, poolsize,
 // pointquery, aggregate, energy, loadbalance, fragmentation,
 // dissemination, resilience, churn, dimsweep, variance, placement,
-// eventload, latency, asynclatency, lossy, all.
+// eventload, latency, asynclatency, lossy, saturation, all.
 //
 // Flags:
 //
@@ -87,13 +87,16 @@ var experiments = map[string]runner{
 		return experiment.Churn(cfg, []int{0, 5, 10, 20})
 	},
 	"fragmentation": experiment.Fragmentation,
+	"saturation": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.Saturation(cfg, []float64{25, 50, 100, 200, 400})
+	},
 }
 
 // order lists the experiments in report order for "all".
 var order = []string{
 	"fig6a", "fig6b", "fig7a", "fig7b",
 	"insert", "hotspot", "poolsize", "pointquery", "aggregate",
-	"energy", "loadbalance", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy",
+	"energy", "loadbalance", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy", "saturation",
 }
 
 func run(args []string, out io.Writer) error {

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestSaturationShape(t *testing.T) {
+	cfg := Quick()
+	rates := []float64{50, 400}
+	res, err := Saturation(cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 systems × 2 policies × len(rates) points.
+	if got, want := len(res.Table.Rows), 2*2*len(rates); got != want {
+		t.Fatalf("%d rows, want %d", got, want)
+	}
+
+	// Pull p99 (column 6) for the pool rows at the overload rate: the
+	// admit-all tail must dwarf the shed tail — the knee the table exists
+	// to show.
+	p99 := func(system, admission, rate string) int64 {
+		t.Helper()
+		for _, row := range res.Table.Rows {
+			if row[0] == system && row[1] == admission && row[2] == rate {
+				v, err := strconv.ParseInt(row[6], 10, 64)
+				if err != nil {
+					t.Fatalf("bad p99 cell %q: %v", row[6], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no row for %s/%s/%s", system, admission, rate)
+		return 0
+	}
+	for _, system := range []string{"pool", "dim"} {
+		open, shed := p99(system, "admit-all", "400"), p99(system, "shed", "400")
+		if open < 2*shed {
+			t.Errorf("%s: admit-all p99 %d not ≫ shed p99 %d at overload", system, open, shed)
+		}
+	}
+}
+
+// TestSaturationParallelInvariance: the sweep must be byte-identical at
+// any worker count — the determinism contract every table shares.
+func TestSaturationParallelInvariance(t *testing.T) {
+	rates := []float64{50, 200}
+	seq := Quick()
+	seq.Parallel = 1
+	par := Quick()
+	par.Parallel = 4
+
+	a, err := Saturation(seq, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Saturation(par, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatalf("parallel sweep diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", a.Table, b.Table)
+	}
+}

@@ -1,0 +1,215 @@
+package load
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy selects the admission-control algorithm a station applies to
+// incoming queries when offered load exceeds its capacity.
+type Policy int
+
+// Admission policies.
+const (
+	// AdmitAll disables admission control: every operation queues, and
+	// under sustained overload the queue — and the tail latency — grow
+	// without bound. The open-loop baseline.
+	AdmitAll Policy = iota
+	// ShedOnDepth rejects queries while the station's queue is engaged:
+	// the controller engages when depth reaches HighDepth and releases
+	// when it falls back to LowDepth (hysteresis, so the controller does
+	// not flap at the boundary). With BatchLimit > 0, engaged queries are
+	// batched instead of rejected.
+	ShedOnDepth
+	// TokenBucket admits queries at a configured sustained rate with a
+	// bounded burst, rejecting the excess regardless of queue depth.
+	TokenBucket
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case AdmitAll:
+		return "admit-all"
+	case ShedOnDepth:
+		return "shed"
+	case TokenBucket:
+		return "token"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Decision is the admission controller's verdict on one query.
+type Decision int
+
+// Admission decisions.
+const (
+	// Admit lets the query through to the station queue.
+	Admit Decision = iota
+	// Shed rejects the query outright; the client gets an immediate
+	// rejection instead of an unbounded wait.
+	Shed
+	// Batch degrades the query: it is buffered and served as part of a
+	// coalesced batch, trading extra latency for a smaller per-query
+	// service demand.
+	Batch
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Admit:
+		return "admit"
+	case Shed:
+		return "shed"
+	case Batch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// AdmissionConfig parameterizes one station's admission controller.
+type AdmissionConfig struct {
+	// Policy selects the algorithm; the zero value admits everything.
+	Policy Policy
+	// HighDepth engages ShedOnDepth when the station queue reaches it.
+	HighDepth int
+	// LowDepth releases ShedOnDepth when the queue falls back to it.
+	// Must be < HighDepth.
+	LowDepth int
+	// Rate is the TokenBucket sustained admission rate in queries/sec.
+	Rate float64
+	// Burst is the TokenBucket capacity; defaults to Rate (a one-second
+	// burst) when zero.
+	Burst float64
+	// BatchLimit, when > 0, turns ShedOnDepth rejections into batching:
+	// up to BatchLimit engaged queries coalesce into one service demand.
+	BatchLimit int
+	// BatchWindow bounds how long a partial batch may wait before it is
+	// flushed. Defaults to 50ms when BatchLimit > 0.
+	BatchWindow time.Duration
+}
+
+// withDefaults fills derived defaults.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Policy == ShedOnDepth {
+		if c.HighDepth <= 0 {
+			c.HighDepth = DefaultHighDepth
+		}
+		if c.LowDepth <= 0 {
+			c.LowDepth = c.HighDepth / 2
+		}
+	}
+	if c.Policy == TokenBucket && c.Burst <= 0 {
+		c.Burst = c.Rate
+	}
+	if c.BatchLimit > 0 && c.BatchWindow <= 0 {
+		c.BatchWindow = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c AdmissionConfig) Validate() error {
+	switch c.Policy {
+	case AdmitAll:
+	case ShedOnDepth:
+		if c.HighDepth > 0 && c.LowDepth >= c.HighDepth {
+			return fmt.Errorf("load: shed hysteresis needs LowDepth < HighDepth, got %d ≥ %d", c.LowDepth, c.HighDepth)
+		}
+	case TokenBucket:
+		if c.Rate <= 0 {
+			return fmt.Errorf("load: token-bucket admission needs Rate > 0, got %g", c.Rate)
+		}
+	default:
+		return fmt.Errorf("load: unknown admission policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Default shedding thresholds: engage at 16 queued operations, release
+// at 8. At the default service demands this bounds the queueing delay a
+// served query can see to roughly HighDepth service times.
+const DefaultHighDepth = 16
+
+// Admission is the per-station admission-control state machine. It is
+// deterministic: decisions depend only on the virtual clock and the
+// observed queue depths, never on wall time or map order.
+type Admission struct {
+	cfg AdmissionConfig
+
+	// ShedOnDepth state.
+	engaged     bool
+	engagements int
+
+	// TokenBucket state.
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+// NewAdmission returns a controller for cfg (defaults filled). The
+// caller should Validate the config first; NewAdmission trusts it.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	return &Admission{cfg: cfg}
+}
+
+// Config returns the controller's effective (default-filled) config.
+func (a *Admission) Config() AdmissionConfig { return a.cfg }
+
+// Decide returns the verdict for one query arriving at virtual time now
+// with the station's queue at depth. Inserts are not subject to
+// admission control (sensor readings must land); callers only consult
+// Decide for queries.
+func (a *Admission) Decide(now time.Duration, depth int) Decision {
+	switch a.cfg.Policy {
+	case ShedOnDepth:
+		if !a.engaged && depth >= a.cfg.HighDepth {
+			a.engaged = true
+			a.engagements++
+		} else if a.engaged && depth <= a.cfg.LowDepth {
+			a.engaged = false
+		}
+		if !a.engaged {
+			return Admit
+		}
+		if a.cfg.BatchLimit > 0 {
+			return Batch
+		}
+		return Shed
+	case TokenBucket:
+		if !a.primed {
+			// The bucket starts full at the first decision.
+			a.tokens = a.cfg.Burst
+			a.last = now
+			a.primed = true
+		}
+		a.tokens += a.cfg.Rate * (now - a.last).Seconds()
+		a.last = now
+		if a.tokens > a.cfg.Burst {
+			a.tokens = a.cfg.Burst
+		}
+		if a.tokens >= 1 {
+			a.tokens--
+			a.engaged = false
+			return Admit
+		}
+		a.engaged = true
+		a.engagements++
+		return Shed
+	default:
+		return Admit
+	}
+}
+
+// Engaged reports whether the controller is currently rejecting or
+// degrading queries.
+func (a *Admission) Engaged() bool { return a.engaged }
+
+// Engagements counts how many times the controller transitioned from
+// admitting to rejecting (ShedOnDepth: engage edges; TokenBucket:
+// individual rejections).
+func (a *Admission) Engagements() int { return a.engagements }

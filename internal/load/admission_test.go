@@ -1,0 +1,169 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShedOnDepthHysteresis(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Policy: ShedOnDepth, HighDepth: 4, LowDepth: 2})
+
+	// Below the high watermark everything is admitted.
+	for depth := 0; depth < 4; depth++ {
+		if d := a.Decide(0, depth); d != Admit {
+			t.Fatalf("depth %d: got %v, want Admit", depth, d)
+		}
+	}
+	if a.Engaged() {
+		t.Fatal("controller engaged below HighDepth")
+	}
+
+	// Reaching HighDepth engages.
+	if d := a.Decide(0, 4); d != Shed {
+		t.Fatalf("depth 4: got %v, want Shed", d)
+	}
+	if !a.Engaged() || a.Engagements() != 1 {
+		t.Fatalf("engaged=%v engagements=%d, want true/1", a.Engaged(), a.Engagements())
+	}
+
+	// Hysteresis: depth back in (LowDepth, HighDepth) stays engaged —
+	// no flapping at the boundary.
+	if d := a.Decide(0, 3); d != Shed {
+		t.Fatalf("depth 3 while engaged: got %v, want Shed", d)
+	}
+
+	// Falling to LowDepth releases.
+	if d := a.Decide(0, 2); d != Admit {
+		t.Fatalf("depth 2: got %v, want Admit", d)
+	}
+	if a.Engaged() {
+		t.Fatal("controller still engaged at LowDepth")
+	}
+
+	// The same band that stayed engaged on the way down admits on the
+	// way up — that asymmetry is the hysteresis.
+	if d := a.Decide(0, 3); d != Admit {
+		t.Fatalf("depth 3 while released: got %v, want Admit", d)
+	}
+
+	// Re-engaging counts a second engagement.
+	if d := a.Decide(0, 5); d != Shed {
+		t.Fatalf("depth 5: got %v, want Shed", d)
+	}
+	if a.Engagements() != 2 {
+		t.Fatalf("engagements = %d, want 2", a.Engagements())
+	}
+}
+
+func TestShedOnDepthBatchesWhenConfigured(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Policy: ShedOnDepth, HighDepth: 2, LowDepth: 1, BatchLimit: 8})
+	if d := a.Decide(0, 0); d != Admit {
+		t.Fatalf("idle: got %v, want Admit", d)
+	}
+	if d := a.Decide(0, 2); d != Batch {
+		t.Fatalf("engaged with batching: got %v, want Batch", d)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Policy: TokenBucket, Rate: 10, Burst: 3})
+
+	// The bucket starts full: Burst immediate admissions.
+	for i := 0; i < 3; i++ {
+		if d := a.Decide(0, 0); d != Admit {
+			t.Fatalf("burst admission %d: got %v", i, d)
+		}
+	}
+	if d := a.Decide(0, 0); d != Shed {
+		t.Fatalf("empty bucket: got %v, want Shed", d)
+	}
+	if !a.Engaged() {
+		t.Fatal("not engaged after shedding")
+	}
+
+	// 100ms at 10 tokens/sec refills one token.
+	if d := a.Decide(100*time.Millisecond, 0); d != Admit {
+		t.Fatalf("after refill: got %v, want Admit", d)
+	}
+	if d := a.Decide(100*time.Millisecond, 0); d != Shed {
+		t.Fatalf("same instant again: got %v, want Shed", d)
+	}
+
+	// The bucket never exceeds Burst no matter how long it idles.
+	a2 := NewAdmission(AdmissionConfig{Policy: TokenBucket, Rate: 10, Burst: 2})
+	a2.Decide(0, 0)
+	for i := 0; i < 2; i++ {
+		if d := a2.Decide(time.Hour, 0); d != Admit {
+			t.Fatalf("post-idle admission %d: got %v", i, d)
+		}
+	}
+	if d := a2.Decide(time.Hour, 0); d != Shed {
+		t.Fatalf("burst cap: got %v, want Shed", d)
+	}
+}
+
+// TestAdmissionDeterminism replays one decision trace into two
+// controllers: identical inputs must give identical decision sequences
+// and state — the property the golden-tested load tables rest on.
+func TestAdmissionDeterminism(t *testing.T) {
+	cfgs := []AdmissionConfig{
+		{Policy: ShedOnDepth, HighDepth: 5, LowDepth: 2},
+		{Policy: TokenBucket, Rate: 50, Burst: 10},
+	}
+	for _, cfg := range cfgs {
+		a, b := NewAdmission(cfg), NewAdmission(cfg)
+		for i := 0; i < 1000; i++ {
+			now := time.Duration(i*7) * time.Millisecond
+			depth := (i * i) % 11
+			da, db := a.Decide(now, depth), b.Decide(now, depth)
+			if da != db {
+				t.Fatalf("%v step %d: %v != %v", cfg.Policy, i, da, db)
+			}
+		}
+		if a.Engagements() != b.Engagements() || a.Engaged() != b.Engaged() {
+			t.Fatalf("%v: diverged state", cfg.Policy)
+		}
+	}
+}
+
+func TestAdmissionConfigValidate(t *testing.T) {
+	bad := []AdmissionConfig{
+		{Policy: ShedOnDepth, HighDepth: 4, LowDepth: 4},
+		{Policy: ShedOnDepth, HighDepth: 4, LowDepth: 9},
+		{Policy: TokenBucket},
+		{Policy: TokenBucket, Rate: -1},
+		{Policy: Policy(99)},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	good := []AdmissionConfig{
+		{},
+		{Policy: ShedOnDepth},
+		{Policy: ShedOnDepth, HighDepth: 10, LowDepth: 3},
+		{Policy: TokenBucket, Rate: 1},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Policy: ShedOnDepth})
+	cfg := a.Config()
+	if cfg.HighDepth != DefaultHighDepth || cfg.LowDepth != DefaultHighDepth/2 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	tb := NewAdmission(AdmissionConfig{Policy: TokenBucket, Rate: 7}).Config()
+	if tb.Burst != 7 {
+		t.Fatalf("token burst default = %g, want Rate", tb.Burst)
+	}
+	bw := NewAdmission(AdmissionConfig{Policy: ShedOnDepth, BatchLimit: 4}).Config()
+	if bw.BatchWindow <= 0 {
+		t.Fatal("batch window default not filled")
+	}
+}

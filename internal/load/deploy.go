@@ -1,0 +1,103 @@
+package load
+
+import (
+	"fmt"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/dim"
+	"pooldcs/internal/field"
+	"pooldcs/internal/ght"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/network"
+	"pooldcs/internal/node"
+	"pooldcs/internal/pool"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+	"pooldcs/internal/workload"
+)
+
+// Backends lists the deployable backend names in report order.
+func Backends() []string { return []string{"pool", "dim", "ght", "pool-actor"} }
+
+// Deployment is one instantiated backend ready for a load run.
+type Deployment struct {
+	// Target is what the engine drives.
+	Target Target
+	// Nodes is the deployment size.
+	Nodes int
+	// Sys is the synchronous system underneath (nil for pool-actor).
+	Sys dcs.System
+}
+
+// Deploy builds a connected deployment of n sensors running the named
+// backend ("pool", "dim", "ght", or "pool-actor") with perNode uniform
+// events preloaded, mirroring the §5.1 stored-event load so queries hit
+// a populated store. The preload happens before the load clock starts
+// and is not charged to any station.
+func Deploy(backend string, n, dims int, perNode int, src *rng.Source, sched *sim.Scheduler, cost CostModel) (*Deployment, error) {
+	layout, err := field.Generate(field.DefaultSpec(n), src.Fork("layout"))
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	router := gpsr.New(layout)
+	net := network.New(layout)
+	gen := workload.NewUniformEvents(src.Fork("preload"), dims)
+
+	switch backend {
+	case "pool":
+		sys, err := pool.New(net, router, dims, src.Fork("pivots"))
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		if err := preload(sys, layout, perNode, gen); err != nil {
+			return nil, err
+		}
+		return &Deployment{Target: NewStationTarget(&PoolBackend{Sys: sys, Net: net}, sched, cost), Nodes: n, Sys: sys}, nil
+	case "dim":
+		sys, err := dim.New(net, router, dims)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		if err := preload(sys, layout, perNode, gen); err != nil {
+			return nil, err
+		}
+		return &Deployment{Target: NewStationTarget(&DIMBackend{Sys: sys, Net: net}, sched, cost), Nodes: n, Sys: sys}, nil
+	case "ght":
+		sys := ght.New(net, router)
+		if err := preload(sys, layout, perNode, gen); err != nil {
+			return nil, err
+		}
+		return &Deployment{Target: NewStationTarget(&GHTBackend{Sys: sys, Net: net}, sched, cost), Nodes: n, Sys: sys}, nil
+	case "pool-actor":
+		eng, err := node.NewEngine(net, router, sched, dims, src.Fork("pivots"), nil)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		for i := 0; i < layout.N(); i++ {
+			for j := 0; j < perNode; j++ {
+				if err := eng.Insert(i, gen.Next(), nil); err != nil {
+					return nil, fmt.Errorf("load: preload: %w", err)
+				}
+			}
+		}
+		// Drain the preload inserts before the load clock starts; the
+		// engine's runs are start-relative, so the elapsed preload time
+		// does not shift the offered horizon.
+		sched.Run()
+		return &Deployment{Target: NewActorTarget(eng, cost.PerMessage), Nodes: n}, nil
+	default:
+		return nil, fmt.Errorf("load: unknown backend %q (choose from pool, dim, ght, pool-actor)", backend)
+	}
+}
+
+// preload stores perNode events per sensor into a synchronous system.
+func preload(sys dcs.System, layout *field.Layout, perNode int, gen *workload.Events) error {
+	for i := 0; i < layout.N(); i++ {
+		for j := 0; j < perNode; j++ {
+			if err := sys.Insert(i, gen.Next()); err != nil {
+				return fmt.Errorf("load: preload: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package load
+
+import (
+	"time"
+
+	"pooldcs/internal/sim"
+)
+
+// Station models the processing capacity of one serving node — a pool
+// splitter, a DIM zone owner, a GHT home — as a FIFO single-server queue
+// on the virtual clock. Operations submitted while the server is busy
+// wait their turn; the queueing delay is what turns offered overload
+// into tail latency.
+type Station struct {
+	sched     *sim.Scheduler
+	busyUntil time.Duration
+	depth     int
+	maxDepth  int
+	served    uint64
+}
+
+// NewStation returns an idle station on sched.
+func NewStation(sched *sim.Scheduler) *Station {
+	return &Station{sched: sched}
+}
+
+// Submit enqueues work of the given service demand. done fires on the
+// virtual clock when the work completes, with the time it spent waiting
+// and the service time itself. Zero and negative demands complete after
+// the queueing delay alone.
+func (st *Station) Submit(demand time.Duration, done func(wait, service time.Duration)) {
+	if demand < 0 {
+		demand = 0
+	}
+	now := st.sched.Now()
+	start := now
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	st.busyUntil = start + demand
+	st.depth++
+	if st.depth > st.maxDepth {
+		st.maxDepth = st.depth
+	}
+	wait := start - now
+	// busyUntil ≥ now, so At cannot fail.
+	_ = st.sched.At(st.busyUntil, func() {
+		st.depth--
+		st.served++
+		if done != nil {
+			done(wait, demand)
+		}
+	})
+}
+
+// Depth returns the number of operations queued or in service.
+func (st *Station) Depth() int { return st.depth }
+
+// MaxDepth returns the high-water queue depth observed so far.
+func (st *Station) MaxDepth() int { return st.maxDepth }
+
+// Served returns the number of completed operations.
+func (st *Station) Served() uint64 { return st.served }

@@ -1,0 +1,84 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"pooldcs/internal/sim"
+)
+
+func TestStationFIFO(t *testing.T) {
+	sched := sim.NewScheduler()
+	st := NewStation(sched)
+
+	type rec struct {
+		wait, service, at time.Duration
+	}
+	var got []rec
+	record := func(wait, service time.Duration) {
+		got = append(got, rec{wait, service, sched.Now()})
+	}
+
+	// Three back-to-back submissions at t=0: the second and third wait
+	// behind the first in FIFO order.
+	st.Submit(10*time.Millisecond, record)
+	st.Submit(20*time.Millisecond, record)
+	st.Submit(5*time.Millisecond, record)
+	if st.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", st.Depth())
+	}
+	sched.Run()
+
+	want := []rec{
+		{0, 10 * time.Millisecond, 10 * time.Millisecond},
+		{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond},
+		{30 * time.Millisecond, 5 * time.Millisecond, 35 * time.Millisecond},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d completions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("completion %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st.Depth() != 0 || st.MaxDepth() != 3 || st.Served() != 3 {
+		t.Errorf("depth=%d maxDepth=%d served=%d, want 0/3/3", st.Depth(), st.MaxDepth(), st.Served())
+	}
+}
+
+func TestStationIdleGap(t *testing.T) {
+	sched := sim.NewScheduler()
+	st := NewStation(sched)
+
+	st.Submit(10*time.Millisecond, nil)
+	sched.Run() // idle at t=10ms
+
+	// Work arriving after the server went idle starts immediately — the
+	// station does not "remember" past busy time.
+	var wait time.Duration = -1
+	sched.After(50*time.Millisecond, func() {
+		st.Submit(5*time.Millisecond, func(w, _ time.Duration) { wait = w })
+	})
+	sched.Run()
+	if wait != 0 {
+		t.Fatalf("post-idle wait = %v, want 0", wait)
+	}
+	if now := sched.Now(); now != 65*time.Millisecond {
+		t.Fatalf("clock = %v, want 65ms", now)
+	}
+}
+
+func TestStationZeroDemand(t *testing.T) {
+	sched := sim.NewScheduler()
+	st := NewStation(sched)
+
+	// Zero and negative demands complete after the queueing delay alone.
+	st.Submit(10*time.Millisecond, nil)
+	var wait, service time.Duration = -1, -1
+	st.Submit(-5*time.Millisecond, func(w, s time.Duration) { wait, service = w, s })
+	sched.Run()
+	if wait != 10*time.Millisecond || service != 0 {
+		t.Fatalf("wait=%v service=%v, want 10ms/0", wait, service)
+	}
+}

@@ -74,6 +74,14 @@ type Engine struct {
 
 	hopLatency time.Duration
 
+	// Service-mode state (nil/zero unless EnableService): per-node serial
+	// packet processing, the capacity model that makes queueing — and
+	// therefore saturation — observable under sustained load.
+	svcTime     time.Duration
+	svcBusy     []time.Duration
+	svcDepth    []int
+	svcMaxDepth int
+
 	// Per-node storage: the state each actor owns.
 	store []map[storeKey][]event.Event
 
@@ -213,8 +221,10 @@ func (e *Engine) Pools() []pool.Pool { return e.pools }
 func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func()) {
 	e.mMailbox.Add(to, 1)
 	delivered := func() {
-		e.mMailbox.Add(to, -1)
-		deliver()
+		e.process(to, func() {
+			e.mMailbox.Add(to, -1)
+			deliver()
+		})
 	}
 	if from == to {
 		e.sched.After(0, delivered)

@@ -16,6 +16,15 @@ import (
 // domain-specific draws the simulator needs.
 type Source struct {
 	r *rand.Rand
+	// zipf caches one rejection sampler per (skew, n) pair. Construction
+	// draws nothing from r, so cached and per-call samplers produce the
+	// identical stream; caching only removes the per-draw setup cost.
+	zipf map[zipfKey]*rand.Zipf
+}
+
+type zipfKey struct {
+	skew float64
+	n    int
 }
 
 // New returns a Source seeded with seed.
@@ -74,16 +83,36 @@ func (s *Source) Normal(mean, stddev float64) float64 {
 	return mean + stddev*s.r.NormFloat64()
 }
 
+// minZipfSkew bounds the Zipf exponent away from the s=1 pole where the
+// finite Zipf distribution degenerates: math/rand's sampler requires
+// s > 1, so skew values at or below zero are clamped here instead of
+// panicking. At the clamp the distribution is near-uniform over ranks.
+const minZipfSkew = 1e-9
+
 // Zipf draws ranks in [0, n) following a Zipf distribution with exponent
-// skew > 1e-9. Higher skew concentrates mass on low ranks. Used by the
-// hotspot workloads.
+// 1+skew. Higher skew concentrates mass on low ranks; skew ≤ 0 is clamped
+// to a near-uniform distribution. Used by the hotspot and sustained-load
+// workloads.
 func (s *Source) Zipf(skew float64, n int) int {
 	if n <= 1 {
 		return 0
 	}
+	if skew < minZipfSkew {
+		skew = minZipfSkew
+	}
 	// Inverse-CDF sampling over the finite Zipf distribution would require
-	// O(n) setup per draw; instead use math/rand's rejection sampler.
-	z := rand.NewZipf(s.r, 1+skew, 1, uint64(n-1))
+	// O(n) setup per draw; math/rand's rejection sampler draws in O(1).
+	// The sampler is cached per (skew, n): constructing one consumes no
+	// randomness, so the stream is identical to per-call construction.
+	key := zipfKey{skew: skew, n: n}
+	z := s.zipf[key]
+	if z == nil {
+		z = rand.NewZipf(s.r, 1+skew, 1, uint64(n-1))
+		if s.zipf == nil {
+			s.zipf = make(map[zipfKey]*rand.Zipf)
+		}
+		s.zipf[key] = z
+	}
 	return int(z.Uint64())
 }
 

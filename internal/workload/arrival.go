@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+// Never is the inter-arrival gap returned by a zero-rate arrival process:
+// far beyond any simulation horizon, yet small enough that adding it to a
+// virtual timestamp cannot overflow time.Duration.
+const Never = time.Duration(math.MaxInt64 / 4)
+
+// Arrivals produces the inter-arrival gaps of an open-loop request
+// stream on the virtual clock. Implementations are deterministic given
+// their random source, so a seeded load run replays exactly.
+type Arrivals interface {
+	// Next returns the gap until the following arrival. A process whose
+	// rate is zero returns Never.
+	Next() time.Duration
+}
+
+// PoissonArrivals is a Poisson process: independent exponentially
+// distributed gaps with mean 1/rate. This is the paper-standard open-loop
+// model — arrivals do not slow down when the system saturates, which is
+// what exposes queueing and tail latency.
+type PoissonArrivals struct {
+	src  *rng.Source
+	mean float64 // seconds between arrivals
+}
+
+// NewPoissonArrivals returns a Poisson process with the given rate in
+// arrivals per second. Rates ≤ 0 yield a silent process.
+func NewPoissonArrivals(src *rng.Source, rate float64) *PoissonArrivals {
+	if rate <= 0 {
+		return &PoissonArrivals{src: src, mean: 0}
+	}
+	return &PoissonArrivals{src: src, mean: 1 / rate}
+}
+
+// Next returns the next exponentially distributed gap.
+func (p *PoissonArrivals) Next() time.Duration {
+	if p.mean == 0 {
+		return Never
+	}
+	gap := p.src.Exponential(p.mean) * float64(time.Second)
+	if gap >= float64(Never) {
+		return Never
+	}
+	return time.Duration(gap)
+}
+
+// UniformArrivals is a deterministic arrival process: exactly rate
+// arrivals per second, evenly spaced. The jitter-free baseline that
+// isolates queueing caused by service-time variation from queueing caused
+// by arrival burstiness.
+type UniformArrivals struct {
+	gap time.Duration
+}
+
+// NewUniformArrivals returns a deterministic process with the given rate
+// in arrivals per second. Rates ≤ 0 yield a silent process.
+func NewUniformArrivals(rate float64) *UniformArrivals {
+	if rate <= 0 {
+		return &UniformArrivals{gap: Never}
+	}
+	gap := float64(time.Second) / rate
+	if gap >= float64(Never) {
+		return &UniformArrivals{gap: Never}
+	}
+	return &UniformArrivals{gap: time.Duration(gap)}
+}
+
+// Next returns the constant gap.
+func (u *UniformArrivals) Next() time.Duration { return u.gap }
+
+// zipfValue draws a value in [0, 1) whose bin rank follows a Zipf
+// distribution: the same binning NewZipfEvents uses, so skewed query
+// populations concentrate on the same value regions as skewed events.
+func zipfValue(src *rng.Source, skew float64, bins int) float64 {
+	if bins < 1 {
+		bins = 1
+	}
+	bin := src.Zipf(skew, bins)
+	return rng.Clamp01((float64(bin) + src.Float64()) / float64(bins))
+}
+
+// ZipfPoint returns a point query — a degenerate range [v, v] on every
+// attribute — whose values are Zipf-skewed over bins ranked by skew.
+// Point queries model exact lookups from a skewed user population: a few
+// hot values absorb most of the traffic.
+func (g *Queries) ZipfPoint(skew float64, bins int) event.Query {
+	ranges := make([]event.Range, g.k)
+	for i := range ranges {
+		v := zipfValue(g.src, skew, bins)
+		ranges[i] = event.Span(v, v)
+	}
+	return event.NewQuery(ranges...)
+}
+
+// ZipfRange returns a range query whose ranges are centred on
+// Zipf-skewed values with lengths drawn from dist, clipped into [0, 1].
+// The skewed analogue of ExactMatch: range queries pile onto the hot
+// value regions.
+func (g *Queries) ZipfRange(skew float64, bins int, dist RangeSizeDist) event.Query {
+	ranges := make([]event.Range, g.k)
+	for i := range ranges {
+		var length float64
+		switch dist {
+		case ExponentialSizes:
+			length = g.src.TruncExponential(exponentialMean, 1)
+		default:
+			length = g.src.Float64()
+		}
+		if length > 1 {
+			length = 1
+		}
+		c := zipfValue(g.src, skew, bins)
+		lo := c - length/2
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > 1-length {
+			lo = 1 - length
+		}
+		ranges[i] = event.Span(lo, lo+length)
+	}
+	return event.NewQuery(ranges...)
+}

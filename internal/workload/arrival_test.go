@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"pooldcs/internal/rng"
+)
+
+func TestPoissonArrivalsMean(t *testing.T) {
+	src := rng.New(1)
+	p := NewPoissonArrivals(src, 100) // mean gap 10ms
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	mean := total / n
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Fatalf("mean gap %v, want ≈10ms", mean)
+	}
+}
+
+func TestZeroRateArrivals(t *testing.T) {
+	// A zero- or negative-rate process is silent, and Never must be
+	// addable to any simulation timestamp without overflowing.
+	for _, rate := range []float64{0, -5} {
+		if g := NewPoissonArrivals(rng.New(1), rate).Next(); g != Never {
+			t.Fatalf("poisson rate %g: gap %v, want Never", rate, g)
+		}
+		if g := NewUniformArrivals(rate).Next(); g != Never {
+			t.Fatalf("uniform rate %g: gap %v, want Never", rate, g)
+		}
+	}
+	if sum := time.Duration(1<<62) + Never; sum < 0 {
+		t.Fatal("Never overflows when added to a large timestamp")
+	}
+}
+
+func TestTinyRateArrivals(t *testing.T) {
+	// Rates so small the gap exceeds Never are clamped, not overflowed.
+	if g := NewUniformArrivals(1e-300).Next(); g != Never {
+		t.Fatalf("tiny uniform rate: gap %v, want Never", g)
+	}
+	p := NewPoissonArrivals(rng.New(1), 1e-300)
+	for i := 0; i < 100; i++ {
+		if g := p.Next(); g > Never || g < 0 {
+			t.Fatalf("tiny poisson rate: gap %v out of [0, Never]", g)
+		}
+	}
+}
+
+func TestUniformArrivalsSpacing(t *testing.T) {
+	u := NewUniformArrivals(50)
+	for i := 0; i < 10; i++ {
+		if g := u.Next(); g != 20*time.Millisecond {
+			t.Fatalf("gap %v, want 20ms", g)
+		}
+	}
+}
+
+func TestZipfPointSkewExtremes(t *testing.T) {
+	// skew → 0 must not panic: rand.NewZipf requires s > 1, so the source
+	// clamps the exponent at 1+ε and the distribution degrades gracefully
+	// to harmonic (weight ∝ 1/rank, ≈30% on the first of 16 bins), not
+	// uniform. Larger skew concentrates further.
+	for _, skew := range []float64{0, 1e-12, 0.5, 1, 2} {
+		g := NewQueries(rng.New(7), 2)
+		hot := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			q := g.ZipfPoint(skew, 16)
+			r := q.Ranges[0]
+			if r.L < 0 || r.U > 1 || r.L != r.U {
+				t.Fatalf("skew %g: bad point range %+v", skew, r)
+			}
+			if r.L < 1.0/16 {
+				hot++
+			}
+		}
+		frac := float64(hot) / n
+		if skew <= 1e-12 && (frac < 0.2 || frac > 0.4) {
+			t.Errorf("skew %g: first bin got %.0f%% of draws, want harmonic ≈30%%", skew, frac*100)
+		}
+		if skew >= 2 && frac < 0.5 {
+			t.Errorf("skew %g: first bin got only %.0f%% of draws, want concentrated", skew, frac*100)
+		}
+	}
+}
+
+func TestZipfHugeBinCount(t *testing.T) {
+	// Bin counts far beyond any realistic population must stay in range
+	// and cheap (the sampler is cached per (skew, n)).
+	g := NewQueries(rng.New(3), 3)
+	for i := 0; i < 2000; i++ {
+		q := g.ZipfPoint(0.9, 1<<30)
+		for _, r := range q.Ranges {
+			if r.L < 0 || r.U > 1 {
+				t.Fatalf("huge bins: range %+v outside [0,1]", r)
+			}
+		}
+	}
+	// Degenerate bin counts collapse to a single bin.
+	for _, bins := range []int{0, -4, 1} {
+		q := g.ZipfPoint(0.9, bins)
+		for _, r := range q.Ranges {
+			if r.L < 0 || r.U > 1 {
+				t.Fatalf("bins=%d: range %+v outside [0,1]", bins, r)
+			}
+		}
+	}
+}
+
+func TestZipfRangeClipped(t *testing.T) {
+	g := NewQueries(rng.New(5), 3)
+	for i := 0; i < 2000; i++ {
+		q := g.ZipfRange(0.8, 64, ExponentialSizes)
+		for _, r := range q.Ranges {
+			if r.L < 0 || r.U > 1 || r.L > r.U {
+				t.Fatalf("range %+v outside [0,1]", r)
+			}
+		}
+	}
+	// Uniform sizes take the other switch arm.
+	for i := 0; i < 200; i++ {
+		q := g.ZipfRange(0.8, 64, UniformSizes)
+		for _, r := range q.Ranges {
+			if r.L < 0 || r.U > 1 || r.L > r.U {
+				t.Fatalf("uniform-size range %+v outside [0,1]", r)
+			}
+		}
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a, b := NewQueries(rng.New(9), 2), NewQueries(rng.New(9), 2)
+	for i := 0; i < 500; i++ {
+		qa, qb := a.ZipfRange(0.8, 64, ExponentialSizes), b.ZipfRange(0.8, 64, ExponentialSizes)
+		for d := range qa.Ranges {
+			if qa.Ranges[d] != qb.Ranges[d] {
+				t.Fatalf("draw %d dim %d: %+v != %+v", i, d, qa.Ranges[d], qb.Ranges[d])
+			}
+		}
+	}
+}
