@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench micro-bench loadtest check bench bench-compare golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy smoke-bench micro-bench loadtest check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,14 @@ race-parallel:
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./cmd/poolload -run Golden
 
 # Short fuzz smoke: random fault plans + queries must never panic or
-# over-report completeness, and the metrics exposition writer must stay
-# grammar-clean on arbitrary registries. go test accepts one -fuzz
-# target per invocation, hence the two runs.
+# over-report completeness, the metrics exposition writer must stay
+# grammar-clean on arbitrary registries, and the rateless reconciliation
+# codec must never decode to a wrong difference. go test accepts one
+# -fuzz target per invocation, hence the separate runs.
 fuzz:
 	$(GO) test ./internal/chaos -run=NONE -fuzz=FuzzResolveUnderFaults -fuzztime=10s
 	$(GO) test ./internal/metrics -run=NONE -fuzz=FuzzExpositionWrite -fuzztime=10s
+	$(GO) test ./internal/antientropy -run=NONE -fuzz=FuzzReconcileDecode -fuzztime=10s
 
 # Race-enabled sweep of the chaos seeds (fault injection, churn
 # experiment, pool/dim repair paths).
@@ -63,6 +65,15 @@ cover-metrics:
 	echo "internal/metrics coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
 		{ echo "internal/metrics coverage $$total% below the 80% gate"; exit 1; }
+
+# The anti-entropy codec and session machinery repair every replicated
+# store; hold its package coverage at or above 80%.
+cover-antientropy:
+	$(GO) test -coverprofile=/tmp/antientropy.cover ./internal/antientropy
+	@total=$$($(GO) tool cover -func=/tmp/antientropy.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/antientropy coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/antientropy coverage $$total% below the 80% gate"; exit 1; }
 
 # Quick benchmark smoke: the disabled-registry hot path must stay
 # allocation-free, the exposition writer must run, and the two headline
@@ -94,19 +105,27 @@ micro-bench:
 loadtest:
 	$(GO) test -count=1 ./cmd/poolload ./internal/load
 
-check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics smoke-bench micro-bench loadtest
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy smoke-bench micro-bench loadtest
 
 # Full benchmark sweep, archived as machine-readable JSON
-# (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing. A
+# (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing, with
+# the root package's CPU and heap pprof profiles archived alongside
+# (<archive>.cpu.pprof / <archive>.heap.pprof) so a regression flagged
+# in the JSON diff can be profiled without re-running the sweep. A
 # same-day re-run gets a numeric suffix instead of clobbering the
 # earlier archive.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/metrics 2>&1 \
+	$(GO) test -bench=. -benchmem -benchtime=1x \
+		-cpuprofile=/tmp/bench.cpu.pprof -memprofile=/tmp/bench.heap.pprof . 2>&1 \
 		| tee /tmp/bench.out
+	$(GO) test -bench=. -benchmem -benchtime=1x ./internal/metrics 2>&1 \
+		| tee -a /tmp/bench.out
 	@out=BENCH_$$(date +%F).json; n=2; \
 	while [ -e "$$out" ]; do out=BENCH_$$(date +%F)_$$n.json; n=$$((n+1)); done; \
 	$(GO) run ./cmd/benchjson -o "$$out" < /tmp/bench.out; \
-	echo "wrote $$out"
+	cp /tmp/bench.cpu.pprof "$${out%.json}.cpu.pprof"; \
+	cp /tmp/bench.heap.pprof "$${out%.json}.heap.pprof"; \
+	echo "wrote $$out $${out%.json}.cpu.pprof $${out%.json}.heap.pprof"
 
 # Benchstat-style delta between the two newest benchmark archives.
 bench-compare:

@@ -23,6 +23,7 @@
 //	-events N     events per node (default 3)
 //	-queries N    range queries spread over the horizon (default 40)
 //	-churn PCT    percent of nodes crashed across the horizon (default 0)
+//	-repair       mirror every cell and run background anti-entropy repair
 //	-horizon D    virtual run time (default 30s)
 //	-tick D       sampling period (default 1s)
 //	-top K        rows in the hotspot tables (default 5)
@@ -37,6 +38,7 @@ import (
 	"strconv"
 	"time"
 
+	"pooldcs/internal/antientropy"
 	"pooldcs/internal/chaos"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/discovery"
@@ -67,6 +69,7 @@ func run(args []string, out io.Writer) error {
 	events := fs.Int("events", 3, "events per node")
 	queries := fs.Int("queries", 40, "range queries spread over the horizon")
 	churn := fs.Int("churn", 0, "percent of nodes crashed across the horizon")
+	repair := fs.Bool("repair", false, "mirror every cell and run background anti-entropy repair")
 	horizon := fs.Duration("horizon", 30*time.Second, "virtual run time")
 	tick := fs.Duration("tick", time.Second, "sampling period")
 	top := fs.Int("top", 5, "rows in the hotspot tables")
@@ -93,7 +96,11 @@ func run(args []string, out io.Writer) error {
 	sched := sim.NewScheduler()
 	net := network.New(layout, network.WithMetrics(reg))
 	router := gpsr.New(layout)
-	sys, err := pool.New(net, router, *dims, src.Fork("pivots"), pool.WithMetrics(reg))
+	poolOpts := []pool.Option{pool.WithMetrics(reg)}
+	if *repair {
+		poolOpts = append(poolOpts, pool.WithReplication())
+	}
+	sys, err := pool.New(net, router, *dims, src.Fork("pivots"), poolOpts...)
 	if err != nil {
 		return err
 	}
@@ -110,8 +117,22 @@ func run(args []string, out io.Writer) error {
 	actors.EnableMetrics(reg)
 	disc := discovery.New(net, sched, src.Fork("beacons"), discovery.Config{})
 	disc.EnableMetrics(reg)
-	engine := chaos.NewEngine(sched, net, router, []chaos.System{sys},
-		chaos.WithFailureDetection(disc), chaos.WithMetrics(reg))
+	// With -repair, rejoining nodes kick an immediate reconciliation
+	// round through the engine's recovery hook.
+	var rec *antientropy.Reconciler
+	engineOpts := []chaos.EngineOption{chaos.WithFailureDetection(disc), chaos.WithMetrics(reg)}
+	if *repair {
+		engineOpts = append(engineOpts, chaos.WithRecoveryHook(func(int) {
+			if rec != nil {
+				rec.Kick()
+			}
+		}))
+	}
+	engine := chaos.NewEngine(sched, net, router, []chaos.System{sys}, engineOpts...)
+	if *repair {
+		rec = antientropy.New(sched, net, router, antientropy.Config{}, sys)
+		rec.EnableMetrics(reg)
+	}
 	if *churn > 0 {
 		plan := chaos.RandomChurn(src.Fork("churn"), *n, float64(*churn)/100, 0.25, *horizon)
 		if err := engine.Schedule(plan); err != nil {
@@ -165,15 +186,26 @@ func run(args []string, out io.Writer) error {
 
 	stop := reg.StartSampling(sched, *tick)
 	disc.Start()
+	if rec != nil {
+		rec.Start()
+	}
 	if err := sched.At(*horizon, func() {
 		stop()
 		disc.Stop()
+		if rec != nil {
+			rec.Stop()
+		}
 	}); err != nil {
 		return err
 	}
 	sched.Run()
 	if fatal != nil {
 		return fatal
+	}
+	if rec != nil {
+		for _, err := range rec.Errs() {
+			return err
+		}
 	}
 
 	switch *format {

@@ -46,6 +46,47 @@ func golden(t *testing.T, name string, args []string) {
 func TestGolden(t *testing.T) {
 	golden(t, "quiet", []string{"-n", "300", "-queries", "20"})
 	golden(t, "churn", []string{"-n", "300", "-queries", "20", "-churn", "10"})
+	golden(t, "repair", []string{"-n", "300", "-queries", "20", "-churn", "10", "-repair"})
+}
+
+// TestRepairFamilies checks that -repair surfaces the anti-entropy
+// metric families through every export format.
+func TestRepairFamilies(t *testing.T) {
+	var prom strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "5", "-churn", "10", "-repair", "-format", "prom"}, &prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE repair_sessions_total counter",
+		"# TYPE repair_symbols_total counter",
+		"# TYPE repair_bytes_total counter",
+		"# TYPE repair_events_moved_total counter",
+		"# TYPE repair_convergence_ms summary",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+
+	var js strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "5", "-churn", "10", "-repair", "-format", "json"}, &js); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &doc); err != nil {
+		t.Fatalf("json output: %v", err)
+	}
+	if !strings.Contains(js.String(), "repair_sessions_total") {
+		t.Error("json output missing repair_sessions_total")
+	}
+
+	var text strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "5", "-churn", "10", "-repair"}, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "repair_sessions_total") {
+		t.Error("text report missing repair_sessions_total")
+	}
 }
 
 func TestPromFormat(t *testing.T) {

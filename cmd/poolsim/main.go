@@ -17,6 +17,7 @@
 //	-sizes LIST  comma-separated network sizes for the fig6 sweeps
 //	-quick       fewer queries, smaller sweep (smoke run)
 //	-parallel N  worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential)
+//	-repair-period D  anti-entropy round interval for the churn experiment (default 5s)
 //	-format F    text | csv | markdown (default text)
 //	-debug-addr A  serve net/http/pprof and Prometheus /metrics on A while running
 package main
@@ -106,6 +107,7 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "", "comma-separated network sizes for the fig6 sweeps (default 300,600,900,1200)")
 	quick := fs.Bool("quick", false, "smoke run: fewer queries per point")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); tables are identical at any setting")
+	repairPeriod := fs.Duration("repair-period", 0, "anti-entropy reconciliation round interval for the churn experiment (0 = default 5s)")
 	format := fs.String("format", "text", "output format: text, csv, or markdown")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this address while running")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +141,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-parallel must be ≥ 0, got %d", *parallel)
 	}
 	cfg.Parallel = *parallel
+	if *repairPeriod < 0 {
+		return fmt.Errorf("-repair-period must be ≥ 0, got %v", *repairPeriod)
+	}
+	cfg.RepairPeriod = *repairPeriod
 
 	var dbg *debugServer
 	if *debugAddr != "" {

@@ -1,0 +1,265 @@
+// Package antientropy repairs diverged replicas with rateless set
+// reconciliation: keyed event digests are folded into an unbounded
+// stream of IBLT-style coded symbols (Yang et al., "Practical Rateless
+// Set Reconciliation", SIGCOMM 2024), so a reconciliation session
+// transmits on the order of the *symmetric difference* between two
+// replicas — not their size. Equal replicas confirm equality with a
+// single coded symbol, which is what makes continuous background repair
+// affordable on a sensor network.
+//
+// The codec half of the package (this file) is pure computation: an
+// Encoder folds a digest set into coded symbols on demand, a Decoder
+// subtracts the local set symbol by symbol and peel-decodes the
+// residual into the two one-sided differences. The session half
+// (session.go) runs the codec between replica pairs as scheduled
+// background traffic over the routed unicast substrate.
+package antientropy
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"pooldcs/internal/event"
+)
+
+// Digest maps an event to its 64-bit reconciliation key: a hash of the
+// sequence number and the exact value bits. Replicas exchange events
+// verbatim, so both sides always digest identical bytes.
+func Digest(e event.Event) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], e.Seq)
+	_, _ = h.Write(buf[:])
+	for _, v := range e.Values {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// splitmix64 is the 64-bit finalizer used for checksums and the per-key
+// index PRNG; it decorrelates the digest bits from the FNV structure.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// checkOf returns the checksum guarding peel decisions: a cell is pure
+// only when its key sum hashes to its checksum sum, so a cell holding
+// several cancelled keys is vanishingly unlikely to masquerade as one.
+func checkOf(key uint64) uint64 { return splitmix64(key ^ 0xA11CE5EED) }
+
+// Symbol is one coded symbol of the rateless stream: the XOR of the
+// keys mapped to it, the XOR of their checksums, and a signed count.
+// The encoder emits counts ≥ 0; after the decoder subtracts its local
+// set the count becomes (#peer-only − #local-only) within the cell.
+type Symbol struct {
+	Sum   uint64
+	Check uint64
+	Count int64
+}
+
+// SymbolBytes is the wire size of one coded symbol (sum + check +
+// count) for the session cost model.
+const SymbolBytes = 24
+
+// zero reports whether the symbol carries nothing.
+func (s Symbol) zero() bool { return s.Sum == 0 && s.Check == 0 && s.Count == 0 }
+
+// mapping generates a key's strictly increasing coded-symbol index
+// sequence. Every key participates in symbol 0 (so symbol 0 is the XOR
+// of the whole set and equal replicas decode from it alone); later
+// indices thin out so that the expected density at index i decays like
+// 1/i, the rateless-IBLT distribution.
+type mapping struct {
+	prng uint64
+	idx  uint64
+}
+
+func newMapping(key uint64) mapping { return mapping{prng: splitmix64(key)} }
+
+// next advances to the key's next index. The skip grows with the
+// current index via the inverse-square-root transform of a uniform
+// draw; a zero skip is bumped to one so the sequence stays strictly
+// increasing and a key can never cancel itself within one cell.
+func (m *mapping) next() uint64 {
+	m.prng = splitmix64(m.prng)
+	r := m.prng
+	skip := uint64(math.Ceil((float64(m.idx) + 1.5) * (math.Exp2(32)/math.Sqrt(float64(r)+1) - 1)))
+	if skip == 0 {
+		skip = 1
+	}
+	m.idx += skip
+	return m.idx
+}
+
+// indicesBelow returns the key's coded-symbol indices < m, for peeling
+// a decoded key out of every cell it touched.
+func indicesBelow(key uint64, m uint64) []uint64 {
+	if m == 0 {
+		return nil
+	}
+	gen := newMapping(key)
+	out := []uint64{0}
+	for {
+		i := gen.next()
+		if i >= m {
+			return out
+		}
+		out = append(out, i)
+	}
+}
+
+// encItem is one key waiting for its next coded symbol.
+type encItem struct {
+	idx uint64
+	key uint64
+	m   mapping
+}
+
+// encHeap orders keys by next index (key id as deterministic tie-break).
+type encHeap []encItem
+
+func (h encHeap) Len() int { return len(h) }
+func (h encHeap) Less(i, j int) bool {
+	if h[i].idx != h[j].idx {
+		return h[i].idx < h[j].idx
+	}
+	return h[i].key < h[j].key
+}
+func (h encHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *encHeap) Push(x any)   { *h = append(*h, x.(encItem)) }
+func (h *encHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Encoder folds a digest set into the unbounded coded-symbol stream.
+// Duplicate digests are collapsed — a replica holding two copies of an
+// event still reconciles as holding the event once.
+type Encoder struct {
+	h    encHeap
+	next uint64
+}
+
+// NewEncoder builds an encoder over the given digest set.
+func NewEncoder(keys []uint64) *Encoder {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	e := &Encoder{h: make(encHeap, 0, len(sorted))}
+	var prev uint64
+	for i, k := range sorted {
+		if i > 0 && k == prev {
+			continue
+		}
+		prev = k
+		e.h = append(e.h, encItem{idx: 0, key: k, m: newMapping(k)})
+	}
+	heap.Init(&e.h)
+	return e
+}
+
+// Next produces the next coded symbol of the stream.
+func (e *Encoder) Next() Symbol {
+	var s Symbol
+	for len(e.h) > 0 && e.h[0].idx == e.next {
+		it := &e.h[0]
+		s.Sum ^= it.key
+		s.Check ^= checkOf(it.key)
+		s.Count++
+		it.idx = it.m.next()
+		heap.Fix(&e.h, 0)
+	}
+	e.next++
+	return s
+}
+
+// Diff is a decoded symmetric difference.
+type Diff struct {
+	// Remote holds the digests only the encoding (peer) side has.
+	Remote []uint64
+	// Local holds the digests only the decoding (local) side has.
+	Local []uint64
+}
+
+// Size returns |Remote| + |Local|.
+func (d Diff) Size() int { return len(d.Remote) + len(d.Local) }
+
+// Decoder consumes a peer's coded-symbol stream, subtracting the local
+// set as it goes, and peel-decodes the residual once enough symbols
+// have arrived.
+type Decoder struct {
+	local    *Encoder
+	residual []Symbol
+}
+
+// NewDecoder builds a decoder whose local set is the given digests.
+func NewDecoder(localKeys []uint64) *Decoder {
+	return &Decoder{local: NewEncoder(localKeys)}
+}
+
+// Add ingests the peer's next coded symbol. Symbols must arrive in
+// stream order; the matching local symbol is subtracted immediately, so
+// the residual stream codes exactly the symmetric difference.
+func (d *Decoder) Add(peer Symbol) {
+	l := d.local.Next()
+	d.residual = append(d.residual, Symbol{
+		Sum:   peer.Sum ^ l.Sum,
+		Check: peer.Check ^ l.Check,
+		Count: peer.Count - l.Count,
+	})
+}
+
+// Received returns the number of symbols ingested so far.
+func (d *Decoder) Received() int { return len(d.residual) }
+
+// Decode attempts to peel the residual into the symmetric difference.
+// It succeeds — returning the two one-sided differences, each sorted —
+// exactly when every residual cell zeroes out, which guarantees the
+// decoded difference is complete, not a prefix. On failure the decoder
+// keeps its state; feed more symbols and try again.
+func (d *Decoder) Decode() (Diff, bool) {
+	syms := append([]Symbol(nil), d.residual...)
+	m := uint64(len(syms))
+	var diff Diff
+	for progress := true; progress; {
+		progress = false
+		for i := range syms {
+			c := syms[i]
+			if c.Count != 1 && c.Count != -1 {
+				continue
+			}
+			if c.Check != checkOf(c.Sum) {
+				continue
+			}
+			key, sign := c.Sum, c.Count
+			if sign > 0 {
+				diff.Remote = append(diff.Remote, key)
+			} else {
+				diff.Local = append(diff.Local, key)
+			}
+			for _, j := range indicesBelow(key, m) {
+				syms[j].Sum ^= key
+				syms[j].Check ^= checkOf(key)
+				syms[j].Count -= sign
+			}
+			progress = true
+		}
+	}
+	for i := range syms {
+		if !syms[i].zero() {
+			return Diff{}, false
+		}
+	}
+	sort.Slice(diff.Remote, func(i, j int) bool { return diff.Remote[i] < diff.Remote[j] })
+	sort.Slice(diff.Local, func(i, j int) bool { return diff.Local[i] < diff.Local[j] })
+	return diff, true
+}

@@ -1,0 +1,212 @@
+package antientropy
+
+import (
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+)
+
+// reconcile runs the codec end to end: stream symbols from an encoder
+// over setA into a decoder over setB until it decodes, returning the
+// diff and the number of symbols it took.
+func reconcile(t *testing.T, setA, setB []uint64, maxSymbols int) (Diff, int) {
+	t.Helper()
+	enc := NewEncoder(setA)
+	dec := NewDecoder(setB)
+	for i := 0; i < maxSymbols; i++ {
+		dec.Add(enc.Next())
+		if d, ok := dec.Decode(); ok {
+			return d, dec.Received()
+		}
+	}
+	t.Fatalf("no decode after %d symbols (|A|=%d |B|=%d)", maxSymbols, len(setA), len(setB))
+	return Diff{}, 0
+}
+
+// keySets builds two sets sharing `common` keys with `onlyA`/`onlyB`
+// extras, returning the sets and the expected one-sided differences.
+func keySets(src *rng.Source, common, onlyA, onlyB int) (a, b, wantA, wantB []uint64) {
+	seen := map[uint64]bool{}
+	draw := func() uint64 {
+		for {
+			k := uint64(src.Intn(1 << 62))
+			if k != 0 && !seen[k] {
+				seen[k] = true
+				return k
+			}
+		}
+	}
+	for i := 0; i < common; i++ {
+		k := draw()
+		a = append(a, k)
+		b = append(b, k)
+	}
+	for i := 0; i < onlyA; i++ {
+		k := draw()
+		a = append(a, k)
+		wantA = append(wantA, k)
+	}
+	for i := 0; i < onlyB; i++ {
+		k := draw()
+		b = append(b, k)
+		wantB = append(wantB, k)
+	}
+	return a, b, wantA, wantB
+}
+
+func sameSet(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	m := map[uint64]bool{}
+	for _, k := range want {
+		m[k] = true
+	}
+	for _, k := range got {
+		if !m[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEqualSetsDecodeFromOneSymbol(t *testing.T) {
+	src := rng.New(1)
+	a, _, _, _ := keySets(src, 500, 0, 0)
+	d, n := reconcile(t, a, a, 4)
+	if n != 1 {
+		t.Fatalf("equal sets took %d symbols, want 1", n)
+	}
+	if d.Size() != 0 {
+		t.Fatalf("equal sets decoded a diff: %+v", d)
+	}
+}
+
+func TestDecodeRecoversSymmetricDifference(t *testing.T) {
+	cases := []struct{ common, onlyA, onlyB int }{
+		{0, 1, 0}, {0, 0, 1}, {0, 3, 2},
+		{100, 5, 0}, {100, 0, 5}, {100, 4, 3},
+		{1000, 12, 9}, {5, 40, 30},
+	}
+	for i, c := range cases {
+		src := rng.New(int64(100 + i))
+		a, b, wantA, wantB := keySets(src, c.common, c.onlyA, c.onlyB)
+		d, _ := reconcile(t, a, b, 4096)
+		if !sameSet(d.Remote, wantA) {
+			t.Errorf("case %d: Remote = %d keys, want the %d A-only keys", i, len(d.Remote), len(wantA))
+		}
+		if !sameSet(d.Local, wantB) {
+			t.Errorf("case %d: Local = %d keys, want the %d B-only keys", i, len(d.Local), len(wantB))
+		}
+	}
+}
+
+// The rateless claim itself: symbol cost tracks the difference size, not
+// the store size. A 10× larger store with the same difference must not
+// cost appreciably more symbols, while a 10× larger difference must cost
+// more.
+func TestSymbolCostScalesWithDifferenceNotStoreSize(t *testing.T) {
+	src := rng.New(7)
+
+	a1, b1, _, _ := keySets(src, 100, 4, 4)
+	_, smallStore := reconcile(t, a1, b1, 4096)
+
+	a2, b2, _, _ := keySets(src, 1000, 4, 4)
+	_, bigStore := reconcile(t, a2, b2, 4096)
+
+	a3, b3, _, _ := keySets(src, 100, 40, 40)
+	_, bigDiff := reconcile(t, a3, b3, 8192)
+
+	if bigStore > 4*smallStore+8 {
+		t.Errorf("10× store grew symbols %d → %d; cost should track the difference", smallStore, bigStore)
+	}
+	if bigDiff <= bigStore {
+		t.Errorf("10× difference took %d symbols vs %d for the small one; cost must grow with |Δ|", bigDiff, bigStore)
+	}
+}
+
+func TestDuplicateDigestsCollapse(t *testing.T) {
+	a := []uint64{7, 7, 7, 42}
+	b := []uint64{42, 42}
+	d, _ := reconcile(t, a, b, 64)
+	if !sameSet(d.Remote, []uint64{7}) || len(d.Local) != 0 {
+		t.Fatalf("duplicates mishandled: %+v", d)
+	}
+}
+
+func TestDecodeFailsOnPrefixThenSucceeds(t *testing.T) {
+	src := rng.New(3)
+	a, b, _, _ := keySets(src, 50, 10, 10)
+	enc := NewEncoder(a)
+	dec := NewDecoder(b)
+	// One symbol cannot decode a 20-element difference.
+	dec.Add(enc.Next())
+	if _, ok := dec.Decode(); ok {
+		t.Fatal("decoded a 20-element difference from one symbol")
+	}
+	for i := 0; i < 4095; i++ {
+		dec.Add(enc.Next())
+		if d, ok := dec.Decode(); ok {
+			if d.Size() != 20 {
+				t.Fatalf("decoded diff size %d, want 20", d.Size())
+			}
+			return
+		}
+	}
+	t.Fatal("never decoded")
+}
+
+func TestMappingStrictlyIncreasing(t *testing.T) {
+	for key := uint64(1); key < 200; key++ {
+		m := newMapping(key)
+		prev := uint64(0)
+		for i := 0; i < 50; i++ {
+			next := m.next()
+			if next <= prev {
+				t.Fatalf("key %d: index %d after %d not increasing", key, next, prev)
+			}
+			prev = next
+		}
+	}
+}
+
+func TestIndicesBelowMatchesMapping(t *testing.T) {
+	key := uint64(0xDEADBEEF)
+	m := newMapping(key)
+	want := []uint64{0}
+	for {
+		i := m.next()
+		if i >= 300 {
+			break
+		}
+		want = append(want, i)
+	}
+	got := indicesBelow(key, 300)
+	if len(got) != len(want) {
+		t.Fatalf("indicesBelow len %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("indicesBelow[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if got := indicesBelow(key, 0); got != nil {
+		t.Fatalf("indicesBelow(0) = %v, want nil", got)
+	}
+}
+
+func TestDigestDependsOnSeqAndValues(t *testing.T) {
+	e1 := event.Event{Seq: 1, Values: []float64{0.1, 0.2, 0.3}}
+	e2 := event.Event{Seq: 2, Values: []float64{0.1, 0.2, 0.3}}
+	e3 := event.Event{Seq: 1, Values: []float64{0.1, 0.2, 0.4}}
+	if Digest(e1) == Digest(e2) {
+		t.Error("digest ignores Seq")
+	}
+	if Digest(e1) == Digest(e3) {
+		t.Error("digest ignores Values")
+	}
+	if Digest(e1) != Digest(event.Event{Seq: 1, Values: []float64{0.1, 0.2, 0.3}}) {
+		t.Error("digest not deterministic")
+	}
+}

@@ -1,0 +1,266 @@
+package antientropy
+
+import (
+	"testing"
+	"time"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/geo"
+	"pooldcs/internal/gpsr"
+	"pooldcs/internal/metrics"
+	"pooldcs/internal/network"
+	"pooldcs/internal/sim"
+)
+
+// memStore is an in-memory Store for driving the session machinery
+// without a pool or GHT behind it.
+type memStore struct {
+	node int
+	evs  []event.Event
+}
+
+func (m *memStore) Node() int { return m.node }
+
+func (m *memStore) AppendDigests(buf []uint64) []uint64 {
+	for _, e := range m.evs {
+		buf = append(buf, Digest(e))
+	}
+	return buf
+}
+
+func (m *memStore) Fetch(d uint64) (event.Event, bool) {
+	for _, e := range m.evs {
+		if Digest(e) == d {
+			return e, true
+		}
+	}
+	return event.Event{}, false
+}
+
+func (m *memStore) Insert(e event.Event) { m.evs = append(m.evs, e) }
+
+func (m *memStore) Len() int { return len(m.evs) }
+
+type memSource struct{ pairs []Pair }
+
+func (s *memSource) ReplicaPairs() []Pair { return s.pairs }
+
+// sessionUniverse is a 6-node line: every node reaches its neighbours
+// only, so cross-line sessions pay multi-hop unicast costs.
+func sessionUniverse(t *testing.T) (*sim.Scheduler, *network.Network, *gpsr.Router) {
+	t.Helper()
+	pts := make([]geo.Point, 6)
+	for i := range pts {
+		pts[i] = geo.Pt(float64(30*i), 0)
+	}
+	l, err := field.FromPositions(pts, 200, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.NewScheduler(), network.New(l), gpsr.New(l)
+}
+
+func mkEvent(seq int) event.Event {
+	e := event.New(0.25, 0.5, 0.75)
+	e.Seq = uint64(seq)
+	return e
+}
+
+// divergedPair returns a primary holding events [0,n), a replica
+// holding [0,n-miss) plus extra replica-only events, and the pair.
+func divergedPair(label string, pNode, rNode, n, miss, extra int) (*memStore, *memStore, Pair) {
+	p := &memStore{node: pNode}
+	r := &memStore{node: rNode}
+	for i := 0; i < n; i++ {
+		p.evs = append(p.evs, mkEvent(i))
+		if i < n-miss {
+			r.evs = append(r.evs, mkEvent(i))
+		}
+	}
+	for i := 0; i < extra; i++ {
+		r.evs = append(r.evs, mkEvent(10_000+i))
+	}
+	return p, r, Pair{Label: label, Primary: p, Replica: r}
+}
+
+func TestBackgroundRoundsConvergeAndExportMetrics(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	p, r, pair := divergedPair("mem A", 0, 5, 30, 5, 3)
+	src := &memSource{pairs: []Pair{pair}}
+
+	rec := New(sched, net, router, Config{Period: time.Second}, src)
+	reg := metrics.New()
+	rec.EnableMetrics(reg)
+	rec.Kick() // not running yet: must be a no-op
+	rec.Start()
+	rec.Start() // idempotent
+	if err := sched.RunUntil(5*time.Second, 100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if !PairInSync(pair) {
+		t.Fatalf("pair still diverged by %d after background rounds", pairDivergence(pair))
+	}
+	if p.Len() != 33 || r.Len() != 33 {
+		t.Fatalf("store sizes %d/%d, want 33/33", p.Len(), r.Len())
+	}
+	if got := rec.EventsMoved(); got != 8 {
+		t.Fatalf("events moved = %d, want 8", got)
+	}
+	if rec.Sessions() < 4 {
+		t.Fatalf("sessions = %d, want one per elapsed period", rec.Sessions())
+	}
+	if rec.Aborted() != 0 || rec.Fallbacks() != 0 || len(rec.Errs()) != 0 {
+		t.Fatalf("aborted=%d fallbacks=%d errs=%v on a healthy pair",
+			rec.Aborted(), rec.Fallbacks(), rec.Errs())
+	}
+	if rec.Symbols() == 0 || rec.Bytes() == 0 {
+		t.Fatal("symbol/byte accounting never charged")
+	}
+	if rec.Convergence().Total() == 0 {
+		t.Fatal("repairing session never observed a divergence window")
+	}
+	// Registry values mirror the accessors.
+	checks := map[string]float64{
+		"repair_sessions_total":     float64(rec.Sessions()),
+		"repair_symbols_total":      float64(rec.Symbols()),
+		"repair_bytes_total":        float64(rec.Bytes()),
+		"repair_events_moved_total": float64(rec.EventsMoved()),
+	}
+	for name, want := range checks {
+		if got := reg.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Stop freezes the round schedule: pending ticks become no-ops.
+	rec.Stop()
+	before := rec.Sessions()
+	if err := sched.RunUntil(20*time.Second, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Sessions() != before {
+		t.Fatalf("sessions advanced from %d to %d after Stop", before, rec.Sessions())
+	}
+}
+
+func TestInSyncPairConfirmsInOneSymbol(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	_, _, pair := divergedPair("mem eq", 0, 5, 40, 0, 0)
+	rec := New(sched, net, router, Config{}, &memSource{pairs: []Pair{pair}})
+	if moved := rec.RunRound(); moved != 0 {
+		t.Fatalf("equal pair moved %d events", moved)
+	}
+	if rec.Symbols() != 1 {
+		t.Fatalf("equal pair cost %d symbols, want 1", rec.Symbols())
+	}
+	if rec.Bytes() != uint64(frameBytes(1)) {
+		t.Fatalf("equal pair cost %d bytes, want %d", rec.Bytes(), frameBytes(1))
+	}
+	if net.Snapshot().TotalData() != 0 {
+		t.Fatal("repair traffic leaked into data-path counters")
+	}
+}
+
+func TestSnapshotModeCostTracksStoreSize(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	_, _, pair := divergedPair("mem snap", 0, 5, 50, 0, 0)
+	rec := New(sched, net, router, Config{Snapshot: true}, &memSource{pairs: []Pair{pair}})
+	if moved := rec.RunRound(); moved != 0 {
+		t.Fatalf("equal pair moved %d events", moved)
+	}
+	if rec.Symbols() != 0 {
+		t.Fatal("snapshot mode transmitted coded symbols")
+	}
+	if rec.Bytes() < uint64(dcs.ReplyBytes(3, 50)) {
+		t.Fatalf("snapshot of 50 events cost %d bytes, want >= %d",
+			rec.Bytes(), dcs.ReplyBytes(3, 50))
+	}
+	_ = net
+}
+
+func TestSnapshotRepairsBothDirections(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	p, r, pair := divergedPair("mem snap2", 1, 4, 20, 4, 2)
+	rec := New(sched, net, router, Config{Snapshot: true}, &memSource{pairs: []Pair{pair}})
+	if moved := rec.RunRound(); moved != 6 {
+		t.Fatalf("moved %d events, want 6", moved)
+	}
+	if !PairInSync(pair) || p.Len() != 22 || r.Len() != 22 {
+		t.Fatalf("snapshot session left %d/%d diverged by %d",
+			p.Len(), r.Len(), pairDivergence(pair))
+	}
+}
+
+func TestUndecodableStreamFallsBackToSnapshot(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	// 60 differing events cannot peel within 8 symbols.
+	_, _, pair := divergedPair("mem fb", 0, 3, 60, 60, 0)
+	rec := New(sched, net, router, Config{MaxSymbols: 8}, &memSource{pairs: []Pair{pair}})
+	if moved := rec.RunRound(); moved != 60 {
+		t.Fatalf("moved %d events, want 60", moved)
+	}
+	if rec.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", rec.Fallbacks())
+	}
+	if !PairInSync(pair) {
+		t.Fatal("fallback snapshot left the pair diverged")
+	}
+}
+
+func TestSessionAbortsDegradablyOnDeadReplica(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	p, r, pair := divergedPair("mem dead", 0, 5, 10, 3, 0)
+	src := &memSource{pairs: []Pair{pair}}
+	rec := New(sched, net, router, Config{}, src)
+
+	net.FailNode(5)
+	if moved := rec.RunRound(); moved != 0 {
+		t.Fatalf("moved %d events into a dead replica", moved)
+	}
+	if rec.Aborted() != 1 || rec.Sessions() != 0 {
+		t.Fatalf("aborted=%d sessions=%d, want 1/0", rec.Aborted(), rec.Sessions())
+	}
+	if errs := rec.Errs(); len(errs) != 0 {
+		t.Fatalf("dead replica surfaced as hard errors: %v", errs)
+	}
+
+	net.RecoverNode(5)
+	if moved := rec.RunRound(); moved != 3 {
+		t.Fatalf("post-recovery round moved %d events, want 3", moved)
+	}
+	if !PairInSync(pair) || p.Len() != r.Len() {
+		t.Fatal("pair not converged after recovery")
+	}
+	// The aborted round opened the divergence window; the repairing round
+	// must have closed it.
+	if rec.Convergence().Total() != 1 {
+		t.Fatalf("convergence observations = %d, want 1", rec.Convergence().Total())
+	}
+	if Divergence(src) != 0 || !Converged(src) {
+		t.Fatal("source-level divergence helpers disagree with PairInSync")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.period() != 5*time.Second || c.firstBatch() != 1 || c.maxBatch() != 16 || c.maxSymbols() != 512 {
+		t.Fatalf("zero-value defaults wrong: %v %d %d %d",
+			c.period(), c.firstBatch(), c.maxBatch(), c.maxSymbols())
+	}
+	c = Config{Period: time.Minute, FirstBatch: 2, MaxBatch: 4, MaxSymbols: 64}
+	if c.period() != time.Minute || c.firstBatch() != 2 || c.maxBatch() != 4 || c.maxSymbols() != 64 {
+		t.Fatal("explicit config not honoured")
+	}
+}
+
+func TestNilRegistryMetricsAreNoOp(t *testing.T) {
+	sched, net, router := sessionUniverse(t)
+	rec := New(sched, net, router, Config{}, &memSource{})
+	rec.EnableMetrics(nil) // must not panic
+	if rec.RunRound() != 0 {
+		t.Fatal("empty source moved events")
+	}
+}

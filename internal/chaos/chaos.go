@@ -176,9 +176,10 @@ type Engine struct {
 	router  *gpsr.Router
 	systems []System
 
-	tracer   *trace.Tracer
-	burstSrc *rng.Source
-	detector FailureDetector
+	tracer    *trace.Tracer
+	burstSrc  *rng.Source
+	detector  FailureDetector
+	onRecover func(id int)
 
 	down []bool
 	// crashedAt holds, per node, the virtual time of an undetected crash
@@ -243,6 +244,14 @@ func WithMetrics(reg *metrics.Registry) EngineOption {
 		reg.HistogramOf("chaos_detection_latency_ms", "crash-to-suspicion gap through the failure detector",
 			e.detectHist)
 	})
+}
+
+// WithRecoveryHook invokes fn after every completed node recovery (all
+// layers back up). Anti-entropy reconciliation hangs its repair kick
+// here, so a rejoining node is reconciled without waiting out the
+// background period.
+func WithRecoveryHook(fn func(id int)) EngineOption {
+	return engineOption(func(e *Engine) { e.onRecover = fn })
 }
 
 // WithFailureDetection routes crash teardown through a failure-detection
@@ -402,6 +411,9 @@ func (e *Engine) RecoverNode(id int) {
 	}
 	for _, s := range e.systems {
 		s.RecoverNode(id)
+	}
+	if e.onRecover != nil {
+		e.onRecover(id)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pooldcs/internal/antientropy"
 	"pooldcs/internal/chaos"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
@@ -52,6 +53,10 @@ type churnUniverse struct {
 	engine *chaos.Engine
 	reg    *metrics.Registry
 
+	// kick, when set, is invoked by the chaos engine's recovery hook so a
+	// rejoining node triggers an immediate anti-entropy round.
+	kick func()
+
 	sumRecall float64
 	sumComp   float64
 	msgs      uint64
@@ -71,6 +76,15 @@ type churnUniverse struct {
 // oracle (every event ever stored), mean completeness (cells served /
 // cells addressed), query+reply messages per query, and the measured
 // detection-latency distribution (p50/p95 across all universes).
+//
+// The replicated universe additionally runs background rateless
+// anti-entropy between every cell's primary and mirror, and a fifth
+// unqueried universe — the same replicated pool — runs the naive
+// full-snapshot reconciler as its cost baseline. The trailing columns
+// compare them: coded symbols and repair KB of the rateless sessions
+// (growing with how much actually diverged), snapshot KB (growing with
+// store size however little differs), and the p95 divergence window a
+// repairing session closed.
 func Churn(cfg Config, churnPcts []int) (*Result, error) {
 	title := fmt.Sprintf("Query degradation under churn, N=%d (recall vs oracle / completeness / msgs per query)", cfg.PartialSize)
 	table := texttable.New(title, "Churn%",
@@ -78,7 +92,8 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		"Repl recall", "Repl compl", "Repl msgs",
 		"DIM recall", "DIM compl", "DIM msgs",
 		"GHT recall", "GHT compl", "GHT msgs",
-		"Detect p50 ms", "Detect p95 ms", "Drops")
+		"Detect p50 ms", "Detect p95 ms", "Drops",
+		"AE syms", "AE KB", "Snap KB", "Conv p95 ms")
 
 	// Each churn rate is a self-contained simulation — its own scheduler,
 	// layout, and four universes — so the rates fan out across workers.
@@ -92,7 +107,7 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		}
 		sched := sim.NewScheduler()
 
-		build := func(name string, mk func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error)) (*churnUniverse, error) {
+		build := func(name string, bsrc *rng.Source, mk func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error)) (*churnUniverse, error) {
 			reg := metrics.New()
 			net := network.New(layout, network.WithMetrics(reg))
 			router := gpsr.New(layout)
@@ -104,38 +119,66 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			u.sys = sys.(interface {
 				QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
 			})
-			u.disc = discovery.New(net, sched, src.Fork("beacons-"+name),
+			u.disc = discovery.New(net, sched, bsrc.Fork("beacons-"+name),
 				discovery.Config{Interval: churnBeaconInterval})
 			u.disc.EnableMetrics(reg)
 			u.engine = chaos.NewEngine(sched, net, router, []chaos.System{sys},
-				chaos.WithFailureDetection(u.disc), chaos.WithMetrics(reg))
+				chaos.WithFailureDetection(u.disc), chaos.WithMetrics(reg),
+				chaos.WithRecoveryHook(func(int) {
+					if u.kick != nil {
+						u.kick()
+					}
+				}))
 			return u, nil
 		}
-		plain, err := build("plain", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+		plain, err := build("plain", src, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
 			return pool.New(net, router, cfg.Dims, src.Fork("pivots-plain"), pool.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		repl, err := build("repl", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+		repl, err := build("repl", src, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
 			return pool.New(net, router, cfg.Dims, src.Fork("pivots-repl"), pool.WithReplication(), pool.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		dimU, err := build("dim", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+		dimU, err := build("dim", src, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
 			return dim.New(net, router, cfg.Dims, dim.WithMetrics(reg))
 		})
 		if err != nil {
 			return nil, err
 		}
-		ghtU, err := build("ght", func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+		ghtU, err := build("ght", src, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
 			return ght.New(net, router, ght.WithMetrics(reg)), nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		// The snapshot-baseline universe draws from its own root source so
+		// the four established universes reproduce their exact pre-existing
+		// streams (Fork consumes from the parent sequence).
+		snapSrc := rng.New(cfg.Seed + 99_000 + int64(pct))
+		snap, err := build("snap", snapSrc, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			return pool.New(net, router, cfg.Dims, snapSrc.Fork("pivots-snap"), pool.WithReplication(), pool.WithMetrics(reg))
+		})
+		if err != nil {
+			return nil, err
+		}
 		universes := []*churnUniverse{plain, repl, dimU, ghtU}
+		all5 := []*churnUniverse{plain, repl, dimU, ghtU, snap}
+
+		// Background anti-entropy: rateless sessions repair the queried
+		// replicated universe; the unqueried snapshot universe pays the
+		// naive full-transfer cost for the same fault plan.
+		recAE := antientropy.New(sched, repl.net, repl.router,
+			antientropy.Config{Period: cfg.RepairPeriod}, repl.sys.(*pool.System))
+		recAE.EnableMetrics(repl.reg)
+		repl.kick = recAE.Kick
+		recSnap := antientropy.New(sched, snap.net, snap.router,
+			antientropy.Config{Period: cfg.RepairPeriod, Snapshot: true}, snap.sys.(*pool.System))
+		recSnap.EnableMetrics(snap.reg)
+		snap.kick = recSnap.Kick
 
 		// Load every universe identically, then forget the insert traffic.
 		placed := GenerateEvents(layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
@@ -152,6 +195,9 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				return nil, err
 			}
 			if err := ghtU.sys.(*ght.System).Insert(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
+			if err := snap.sys.(*pool.System).Insert(pe.Origin, pe.Event); err != nil {
 				return nil, err
 			}
 		}
@@ -180,7 +226,7 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			r := layout.Side * 0.1
 			plan.Burst(at, geo.RectFromCorners(geo.Pt(cx-r, cy-r), geo.Pt(cx+r, cy+r)), burstLossRate, churnHorizon/10)
 		}
-		for _, u := range universes {
+		for _, u := range all5 {
 			if err := u.engine.Schedule(plan); err != nil {
 				return nil, err
 			}
@@ -219,15 +265,19 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				return nil, err
 			}
 		}
-		// Beacons reschedule themselves forever; end every protocol at the
-		// horizon so the event queue drains.
-		for _, u := range universes {
+		// Beacons and reconcilers reschedule themselves forever; end every
+		// protocol at the horizon so the event queue drains.
+		for _, u := range all5 {
 			u.disc.Start()
 		}
+		recAE.Start()
+		recSnap.Start()
 		if err := sched.At(churnHorizon, func() {
-			for _, u := range universes {
+			for _, u := range all5 {
 				u.disc.Stop()
 			}
+			recAE.Stop()
+			recSnap.Stop()
 		}); err != nil {
 			return nil, err
 		}
@@ -235,12 +285,22 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		if queryErr != nil {
 			return nil, queryErr
 		}
+		// Detection latency merges only the queried universes, so the
+		// Detect columns describe the systems the table compares.
 		detect := stats.NewIntHistogram()
-		for _, u := range universes {
+		for _, u := range all5 {
 			for _, err := range u.engine.Errs() {
 				return nil, fmt.Errorf("churn %d%%: %w", pct, err)
 			}
+		}
+		for _, u := range universes {
 			detect.Merge(u.engine.DetectionLatency())
+		}
+		for _, err := range recAE.Errs() {
+			return nil, fmt.Errorf("churn %d%% rateless repair: %w", pct, err)
+		}
+		for _, err := range recSnap.Errs() {
+			return nil, fmt.Errorf("churn %d%% snapshot repair: %w", pct, err)
 		}
 
 		nq := float64(cfg.Queries)
@@ -263,6 +323,13 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			texttable.Int(int(detect.Quantile(50))),
 			texttable.Int(int(detect.Quantile(95))),
 			texttable.Int(int(drops)))
+		// The repair comparison: rateless cost tracks divergence, the
+		// snapshot baseline re-ships whole stores every round.
+		row = append(row,
+			texttable.Int(int(recAE.Symbols())),
+			texttable.Float(float64(recAE.Bytes())/1024, 1),
+			texttable.Float(float64(recSnap.Bytes())/1024, 1),
+			texttable.Int(int(recAE.Convergence().Quantile(95))))
 		return row, nil
 	})
 	if err != nil {

@@ -55,6 +55,10 @@ func TestChurnDegradesGracefully(t *testing.T) {
 		ghtCompl   = 11
 		detectP50  = 13
 		detectP95  = 14
+		aeSyms     = 16
+		aeKB       = 17
+		snapKB     = 18
+		convP95    = 19
 	)
 	for row := range res.Table.Rows {
 		pct := int(cell(row, 0))
@@ -107,6 +111,41 @@ func TestChurnDegradesGracefully(t *testing.T) {
 			}
 		}
 	}
+	// The anti-entropy cost comparison. Rateless overhead tracks how much
+	// actually diverged: with no churn nothing does, so the stream is the
+	// one-symbol-per-pair equality confirmation, while the snapshot
+	// baseline already re-ships whole stores every round. Under churn the
+	// rateless cost grows with the repair work, the divergence-window
+	// histogram records real closures, and the snapshot baseline stays a
+	// multiple of the rateless cost.
+	for row := range res.Table.Rows {
+		pct := int(cell(row, 0))
+		ae, snap := cell(row, aeKB), cell(row, snapKB)
+		if ae <= 0 || snap <= 0 {
+			t.Fatalf("pct %d: repair traffic absent (AE %v KB, snapshot %v KB)", pct, ae, snap)
+		}
+		if snap < 2*ae {
+			t.Errorf("pct %d: snapshot baseline %v KB not clearly above rateless %v KB", pct, snap, ae)
+		}
+		if pct == 0 {
+			if v := cell(row, convP95); v != 0 {
+				t.Errorf("no churn: convergence p95 %v ms, want 0 (nothing diverged)", v)
+			}
+		} else {
+			if v := cell(row, convP95); v <= 0 {
+				t.Errorf("pct %d: convergence p95 %v ms, want > 0", pct, v)
+			}
+			if cell(row, aeSyms) <= cell(0, aeSyms) {
+				t.Errorf("pct %d: %v coded symbols, want more than the no-churn %v",
+					pct, cell(row, aeSyms), cell(0, aeSyms))
+			}
+			if ae <= cell(0, aeKB) {
+				t.Errorf("pct %d: rateless %v KB, want more than the no-churn %v KB",
+					pct, ae, cell(0, aeKB))
+			}
+		}
+	}
+
 	// Churn must actually hurt the designs without replication: DIM and
 	// GHT lose their single copies.
 	last := len(res.Table.Rows) - 1

@@ -9,6 +9,7 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
@@ -43,6 +44,10 @@ type Config struct {
 	// run, 0 (the default) uses GOMAXPROCS. Every trial seeds its own
 	// random source, so the tables are byte-identical at any setting.
 	Parallel int
+	// RepairPeriod is the background anti-entropy round interval of the
+	// churn experiment's replicated universes (0 selects the
+	// antientropy default of 5s).
+	RepairPeriod time.Duration
 }
 
 // Default returns the paper's §5.1 parameters.

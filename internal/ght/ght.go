@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"pooldcs/internal/antientropy"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/event"
 	"pooldcs/internal/geo"
@@ -72,6 +73,11 @@ type System struct {
 	homes map[geo.Point]int
 	// dead marks failed nodes (faults.go).
 	dead []bool
+	// roots lists the distinct root points events have hashed to, in
+	// first-insert order, and rootSet dedups them; anti-entropy
+	// reconciliation (antientropy.go) enumerates replica pairs from it.
+	roots   []geo.Point
+	rootSet map[geo.Point]bool
 
 	// Metric handles (nil when no registry is attached).
 	reg      *metrics.Registry
@@ -188,6 +194,7 @@ func (s *System) Insert(origin int, e event.Event) error {
 		return fmt.Errorf("ght: %w", err)
 	}
 	pt := s.HashPoint(e.Values)
+	root := pt
 	if s.replDepth > 0 {
 		pos := s.net.Layout().Pos(origin)
 		best, bestD2 := pt, math.Inf(1)
@@ -206,6 +213,9 @@ func (s *System) Insert(origin int, e event.Event) error {
 		return fmt.Errorf("ght: insert: %w", err)
 	}
 	s.storage[home] = append(s.storage[home], e)
+	if s.replDepth > 0 {
+		s.recordRoot(root)
+	}
 	s.mInserts.Inc()
 	return nil
 }
@@ -257,6 +267,13 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 	mirrors := s.MirrorPoints(root)
 	comp.CellsTotal += len(mirrors)
 	var matches []event.Event
+	// After anti-entropy reconciliation sibling mirrors hold overlapping
+	// copies, so the mirror walk dedups matches by digest; pre-repair the
+	// shares are disjoint and this is a no-op.
+	var seen map[uint64]bool
+	if s.replDepth > 0 {
+		seen = make(map[uint64]bool)
+	}
 	cur := sink
 	for mi, pt := range mirrors {
 		label := fmt.Sprintf("M%d %v", mi, pt)
@@ -303,7 +320,16 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 					continue
 				}
 			}
-			matches = append(matches, found...)
+			if seen == nil {
+				matches = append(matches, found...)
+			} else {
+				for _, e := range found {
+					if d := antientropy.Digest(e); !seen[d] {
+						seen[d] = true
+						matches = append(matches, e)
+					}
+				}
+			}
 		}
 		comp.CellsReached++
 	}

@@ -1,0 +1,214 @@
+package pool
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"pooldcs/internal/antientropy"
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
+)
+
+// sortedMirrorKeys returns the mirrored cells in deterministic order, so
+// tests pick the same victim every run.
+func sortedMirrorKeys(s *System) []storeKey {
+	keys := make([]storeKey, 0, len(s.mirrors))
+	for key := range s.mirrors {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.dim != b.dim {
+			return a.dim < b.dim
+		}
+		if a.cell.Y != b.cell.Y {
+			return a.cell.Y < b.cell.Y
+		}
+		return a.cell.X < b.cell.X
+	})
+	return keys
+}
+
+// TestMirrorDivergenceRepairedByReconciliation is the deterministic
+// regression for the known replication leak: an insert whose primary
+// store succeeds but whose mirror copy dies against an undetected
+// corpse leaves the pair diverged — silently, because the degradable
+// error is all the caller sees. Without repair the divergence persists
+// through the node's recovery; one reconciliation round closes it.
+func TestMirrorDivergenceRepairedByReconciliation(t *testing.T) {
+	s, net, router := newUniverse(t, 300, 600, WithReplication())
+	loadEvents(t, s, 200, 601)
+
+	// Silently crash a loaded cell's mirror: radio and routing die, but
+	// no FailNode — the protocol still believes the mirror is alive.
+	pairs := s.ReplicaPairs()
+	if len(pairs) == 0 {
+		t.Fatal("no replica pairs")
+	}
+	var victim storeKey
+	mirror := -1
+	for _, key := range sortedMirrorKeys(s) {
+		if m := s.mirrors[key]; m >= 0 && len(s.mirrorStore[key]) > 0 {
+			victim, mirror = key, m
+			break
+		}
+	}
+	if mirror < 0 {
+		t.Fatal("no loaded mirror")
+	}
+	router.Exclude(mirror)
+	net.FailNode(mirror)
+
+	// Concurrent inserts during the undetected window: events that land
+	// in cells mirrored at the corpse store at their primaries but lose
+	// the mirror copy.
+	// A degradable insert error can also mean the event never stored at
+	// all (origin→index leg failed); keep inserting until a primary-only
+	// copy actually exists.
+	src := rng.New(602)
+	failed := 0
+	for i := 0; i < 400 && antientropy.Divergence(s) == 0; i++ {
+		e := event.New(src.Float64(), src.Float64(), src.Float64())
+		e.Seq = uint64(10_000 + i)
+		if err := s.Insert(src.Intn(net.Layout().N()), e); err != nil {
+			if !dcs.Degradable(err) {
+				t.Fatal(err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no insert degraded against the corpse; adjust seeds")
+	}
+	if antientropy.Divergence(s) == 0 {
+		t.Fatal("no insert diverged mirror from primary — regression gone?")
+	}
+
+	// The corpse reboots (storage intact at this layer: the mirrorStore
+	// was never touched). Without reconciliation the divergence persists.
+	router.Restore(mirror)
+	net.RecoverNode(mirror)
+	before := antientropy.Divergence(s)
+	if before == 0 {
+		t.Fatal("recovery alone repaired the divergence — nothing to regress")
+	}
+
+	sched := sim.NewScheduler()
+	rec := antientropy.New(sched, net, router, antientropy.Config{}, s)
+	moved := rec.RunRound()
+	if errs := rec.Errs(); len(errs) != 0 {
+		t.Fatalf("reconciliation errors: %v", errs)
+	}
+	if moved == 0 {
+		t.Fatal("reconciliation moved no events over a diverged pair")
+	}
+	if d := antientropy.Divergence(s); d != 0 {
+		t.Fatalf("divergence %d after reconciliation, want 0 (was %d)", d, before)
+	}
+	if !antientropy.Converged(s) {
+		t.Fatal("Converged disagrees with zero divergence")
+	}
+	_ = victim
+}
+
+// TestReconcilerPushesMirrorOnlyEventsBack covers the reverse direction:
+// an event present only in the mirror copy flows back to the primary.
+func TestReconcilerPushesMirrorOnlyEventsBack(t *testing.T) {
+	s, net, router := newUniverse(t, 200, 610, WithReplication())
+	loadEvents(t, s, 100, 611)
+
+	var key storeKey
+	found := false
+	for _, k := range sortedMirrorKeys(s) {
+		if s.mirrors[k] >= 0 && len(s.mirrorStore[k]) > 0 {
+			key, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no loaded mirror")
+	}
+	orphan := event.New(0.5, 0.5, 0.5)
+	orphan.Seq = 99_999
+	s.mirrorStore[key] = append(s.mirrorStore[key], orphan)
+	if antientropy.Divergence(s) != 1 {
+		t.Fatalf("divergence %d after orphan injection, want 1", antientropy.Divergence(s))
+	}
+
+	sched := sim.NewScheduler()
+	rec := antientropy.New(sched, net, router, antientropy.Config{}, s)
+	if moved := rec.RunRound(); moved != 1 {
+		t.Fatalf("moved %d events, want 1", moved)
+	}
+	if !antientropy.Converged(s) {
+		t.Fatal("orphan not pushed back to primary")
+	}
+	// The orphan is now queryable through the primary path.
+	got, _, err := s.QueryWithReport(pickAlive(s), fullDomain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, e := range got {
+		if e.Seq == orphan.Seq {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("repaired orphan invisible to queries")
+	}
+}
+
+// TestReconcilerAbortsAgainstCorpseThenConverges: sessions against an
+// undetected corpse abort gracefully (retry next round) and converge
+// once the node is back.
+func TestReconcilerAbortsAgainstCorpseThenConverges(t *testing.T) {
+	s, net, router := newUniverse(t, 200, 620, WithReplication())
+	loadEvents(t, s, 100, 621)
+
+	mirror := -1
+	var key storeKey
+	for _, k := range sortedMirrorKeys(s) {
+		if m := s.mirrors[k]; m >= 0 && len(s.mirrorStore[k]) > 0 {
+			mirror, key = m, k
+			break
+		}
+	}
+	if mirror < 0 {
+		t.Fatal("no loaded mirror")
+	}
+	// Orphan an event at the corpse-mirrored cell so a session has real
+	// work it cannot finish.
+	orphan := event.New(0.25, 0.75, 0.5)
+	orphan.Seq = 88_888
+	s.mirrorStore[key] = append(s.mirrorStore[key], orphan)
+
+	router.Exclude(mirror)
+	net.FailNode(mirror)
+
+	sched := sim.NewScheduler()
+	rec := antientropy.New(sched, net, router, antientropy.Config{}, s)
+	rec.RunRound()
+	if rec.Aborted() == 0 {
+		t.Fatal("no session aborted against the corpse")
+	}
+	if errs := rec.Errs(); len(errs) != 0 {
+		var first error
+		if len(errs) > 0 {
+			first = errs[0]
+		}
+		if !errors.Is(first, dcs.ErrUnreachable) {
+			t.Fatalf("non-degradable errors: %v", errs)
+		}
+	}
+
+	router.Restore(mirror)
+	net.RecoverNode(mirror)
+	rec.RunRound()
+	if !antientropy.Converged(s) {
+		t.Fatal("pairs not converged after recovery round")
+	}
+}

@@ -1,0 +1,108 @@
+package systemtest
+
+import (
+	"testing"
+
+	"pooldcs/internal/antientropy"
+	"pooldcs/internal/dcs"
+)
+
+// TestConformanceAntiEntropyEventualEquality pins the repair contract
+// for every replicated flavour: after a replica node crashes silently,
+// inserts flow through the undetected window, and the node recovers,
+// a bounded number of reconciliation rounds must leave every replica
+// pair holding identical digest sets — and the full query sweep must
+// come back whole.
+func TestConformanceAntiEntropyEventualEquality(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			u, err := BuildUniverse(f, confNodes, confEvents, confDims, confSeed+77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Unreplicated flavours have nothing to reconcile; the two
+			// replicated ones must produce pairs or the contract is broken.
+			replicated := map[string]bool{"pool+repl": true, "ght+sr": true}
+			src, ok := u.Sys.(antientropy.PairSource)
+			if !ok {
+				if replicated[f.Name] {
+					t.Fatalf("%s does not expose replica pairs", f.Name)
+				}
+				t.Skipf("%s exposes no replica pairs", f.Name)
+			}
+			pairs := src.ReplicaPairs()
+			if len(pairs) == 0 {
+				if replicated[f.Name] {
+					t.Fatalf("%s: no replica pairs after load", f.Name)
+				}
+				t.Skipf("%s is unreplicated", f.Name)
+			}
+			loaded := -1
+			for i, p := range pairs {
+				if p.Replica.Len() > 0 || p.Primary.Len() > 0 {
+					loaded = i
+					break
+				}
+			}
+			if loaded < 0 {
+				t.Fatal("every pair empty after load")
+			}
+
+			// Open the divergence window: the loaded pair's replica node
+			// goes down silently, inserts keep flowing (degradable failures
+			// are the scenario — events that land nowhere stay out of the
+			// oracle), and lost mirror writes are modelled directly through
+			// the pair's Store interface.
+			victim := pairs[loaded].Replica.Node()
+			u.CrashSilent(victim)
+			n := u.Net.Layout().N()
+			for i := 0; i < 30; i++ {
+				origin := (victim + 1 + i*7) % n
+				if u.Engine.Down(origin) || origin == victim {
+					continue
+				}
+				if err := u.Insert(origin, eventAt(confDims, 10_000+i)); err != nil {
+					if !dcs.Degradable(err) {
+						t.Fatalf("insert %d: non-degradable error: %v", i, err)
+					}
+				}
+			}
+			for i := 0; i < 3; i++ {
+				pairs[loaded].Primary.Insert(eventAt(confDims, 20_000+i))
+			}
+			u.Recover(victim)
+
+			if antientropy.Divergence(src) == 0 {
+				t.Fatal("window closed with no divergence to repair")
+			}
+
+			rec := antientropy.New(u.Sched, u.Net, u.Router, antientropy.Config{}, src)
+			for round := 0; round < 6 && !antientropy.Converged(src); round++ {
+				rec.RunRound()
+			}
+			if errs := rec.Errs(); len(errs) != 0 {
+				t.Fatalf("reconciliation errors: %v", errs)
+			}
+			if d := antientropy.Divergence(src); d != 0 {
+				t.Fatalf("residual divergence %d after repair rounds", d)
+			}
+			for _, p := range src.ReplicaPairs() {
+				if !antientropy.PairInSync(p) {
+					t.Errorf("pair %s not in sync", p.Label)
+				}
+			}
+
+			rep := u.RunQueries(u.PickAlive())
+			for _, v := range rep.Violations {
+				t.Error(v)
+			}
+			if r := rep.MeanRecall(); r != 1 {
+				t.Errorf("mean recall %v after repair, want exactly 1", r)
+			}
+			if !rep.AllComplete() {
+				t.Errorf("only %d/%d queries complete after recovery", rep.Complete, rep.Queries)
+			}
+		})
+	}
+}
