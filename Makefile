@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy smoke-bench micro-bench loadtest check bench bench-compare golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node smoke-bench micro-bench loadtest check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test ./internal/chaos -run=NONE -fuzz=FuzzResolveUnderFaults -fuzztime=10s
 	$(GO) test ./internal/metrics -run=NONE -fuzz=FuzzExpositionWrite -fuzztime=10s
 	$(GO) test ./internal/antientropy -run=NONE -fuzz=FuzzReconcileDecode -fuzztime=10s
+	$(GO) test ./internal/node -run=NONE -fuzz=FuzzRepairPackets -fuzztime=10s
 
 # Race-enabled sweep of the chaos seeds (fault injection, churn
 # experiment, pool/dim repair paths).
@@ -75,6 +76,16 @@ cover-antientropy:
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
 		{ echo "internal/antientropy coverage $$total% below the 80% gate"; exit 1; }
 
+# The actor engine's message-driven repair protocol carries the fault
+# model this repo's equivalence claims rest on; hold its package
+# coverage at or above 80%.
+cover-node:
+	$(GO) test -coverprofile=/tmp/node.cover ./internal/node
+	@total=$$($(GO) tool cover -func=/tmp/node.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/node coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/node coverage $$total% below the 80% gate"; exit 1; }
+
 # Quick benchmark smoke: the disabled-registry hot path must stay
 # allocation-free, the exposition writer must run, and the two headline
 # simulation benchmarks must hold their allocs/op within 10% of the
@@ -105,7 +116,7 @@ micro-bench:
 loadtest:
 	$(GO) test -count=1 ./cmd/poolload ./internal/load
 
-check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy smoke-bench micro-bench loadtest
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node smoke-bench micro-bench loadtest
 
 # Full benchmark sweep, archived as machine-readable JSON
 # (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing, with

@@ -154,7 +154,7 @@ func run(args []string, out io.Writer) error {
 		at := time.Duration(float64(i) / float64(totalEvents) * float64(half))
 		origin, ev := i%*n, gen.Next()
 		if err := sched.At(at, func() {
-			if err := sys.Insert(origin, ev); err != nil && !dcs.Degradable(err) && fatal == nil {
+			if err := sys.Insert(origin, ev); err != nil && !dcs.IsDegradable(err) && fatal == nil {
 				fatal = err
 			}
 			if err := actors.Insert(origin, ev, nil); err != nil && fatal == nil {

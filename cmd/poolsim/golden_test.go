@@ -25,6 +25,7 @@ func TestGolden(t *testing.T) {
 		{"insert", []string{"-quick", "insert"}},
 		{"pointquery", []string{"-quick", "pointquery"}},
 		{"churn", []string{"-quick", "churn"}},
+		{"resilience-node", []string{"-quick", "-backend=node", "-repair", "resilience"}},
 		{"loadbalance", []string{"-quick", "loadbalance"}},
 		{"saturation", []string{"-quick", "saturation"}},
 	}

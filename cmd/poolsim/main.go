@@ -18,6 +18,10 @@
 //	-quick       fewer queries, smaller sweep (smoke run)
 //	-parallel N  worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential)
 //	-repair-period D  anti-entropy round interval for the churn experiment (default 5s)
+//	-backend B   storage backend for the resilience sweep: pool (synchronous
+//	             spec, default) or node (event-driven actor engine)
+//	-repair      with -backend=node: mirror every cell and restore crashed
+//	             state through message-driven repair exchanges
 //	-format F    text | csv | markdown (default text)
 //	-debug-addr A  serve net/http/pprof and Prometheus /metrics on A while running
 package main
@@ -108,6 +112,8 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "smoke run: fewer queries per point")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); tables are identical at any setting")
 	repairPeriod := fs.Duration("repair-period", 0, "anti-entropy reconciliation round interval for the churn experiment (0 = default 5s)")
+	backend := fs.String("backend", "pool", "storage backend for the resilience sweep: pool (synchronous spec) or node (actor engine)")
+	repair := fs.Bool("repair", false, "with -backend=node: mirror cells and restore crashes via message-driven repair")
 	format := fs.String("format", "text", "output format: text, csv, or markdown")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this address while running")
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +151,16 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-repair-period must be ≥ 0, got %v", *repairPeriod)
 	}
 	cfg.RepairPeriod = *repairPeriod
+	switch *backend {
+	case "pool", "node":
+		cfg.Backend = *backend
+	default:
+		return fmt.Errorf("unknown backend %q; choose pool or node", *backend)
+	}
+	if *repair && *backend != "node" {
+		return fmt.Errorf("-repair requires -backend=node (the pool backend always compares both)")
+	}
+	cfg.Repair = *repair
 
 	var dbg *debugServer
 	if *debugAddr != "" {

@@ -271,7 +271,7 @@ func (r *Reconciler) reconcile(p Pair) int {
 	}
 	r.moved += uint64(moved)
 	if err != nil {
-		if !dcs.Degradable(err) {
+		if !dcs.IsDegradable(err) {
 			r.errs = append(r.errs, fmt.Errorf("antientropy %s: %w", p.Label, err))
 			return moved
 		}

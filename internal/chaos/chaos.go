@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"pooldcs/internal/dcs"
 	"pooldcs/internal/geo"
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/metrics"
@@ -147,13 +148,11 @@ func RandomChurn(src *rng.Source, n int, frac, recoverFrac float64, horizon time
 	return p
 }
 
-// System is the storage-protocol view of a fault: pool.System,
-// dim.System, and ght.System all implement it.
-type System interface {
-	FailNode(id int) error
-	RecoverNode(id int)
-	Failed(id int) bool
-}
+// System is the storage-protocol view of a fault — the shared
+// dcs.Degradable surface. pool.System, dim.System, ght.System, and
+// node.Engine all implement it, so every backend (the actor engine
+// included) registers with the chaos engine through this one path.
+type System = dcs.Degradable
 
 // FailureDetector is the engine's view of a failure-detection protocol
 // (discovery.Protocol implements it). Fail silences the node's beacons;
@@ -426,6 +425,22 @@ func (e *Engine) StartBurst(region geo.Rect, rate float64, duration time.Duratio
 	cancel := e.net.AddRegionLoss(region, rate, e.burstSrc)
 	e.sched.After(duration, cancel)
 }
+
+// FailNode is the engine-level counterpart of RecoverNode: it crashes
+// the node immediately, exactly as a scheduled Crash fault would
+// (CrashNode remains the named primitive). With it the engine itself
+// satisfies dcs.Degradable, so engines compose anywhere a storage
+// system's fault surface is expected. The error return is always nil —
+// per-system repair errors are collected in Errs, as for planned
+// faults.
+func (e *Engine) FailNode(id int) error {
+	e.CrashNode(id)
+	return nil
+}
+
+// Failed reports whether the engine currently holds the node down
+// (dcs.Degradable; identical to Down).
+func (e *Engine) Failed(id int) bool { return e.Down(id) }
 
 // Down reports whether the engine currently holds the node down.
 func (e *Engine) Down(id int) bool { return e.down[id] }

@@ -195,13 +195,31 @@ func GeoUnicastOpts(net *network.Network, router *gpsr.Router, from int, target 
 	return res.Home, sent, nil
 }
 
-// Degradable reports whether a transmission failure is one graceful
+// IsDegradable reports whether a transmission failure is one graceful
 // degradation absorbs: a dead or partitioned destination, or a hop that
 // exhausted its ARQ budget. Anything else is a programming fault the
-// storage protocols must surface. All three systems (pool, dim, ght)
-// share this predicate so their degradation semantics cannot drift.
-func Degradable(err error) bool {
+// storage protocols must surface. Every system (pool, dim, ght, the
+// node actor engine) shares this predicate so their degradation
+// semantics cannot drift.
+func IsDegradable(err error) bool {
 	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrHopExhausted)
+}
+
+// Degradable is the fault surface every storage system exposes: mark a
+// node failed (running whatever repair the design provides), bring it
+// back, and report its status. pool.System, dim.System, ght.System, and
+// node.Engine all implement it, and chaos.Engine drives any number of
+// them through this one interface — there is no per-backend
+// registration path.
+type Degradable interface {
+	// FailNode marks the node failed and repairs or drops its
+	// responsibilities. The error covers only unrecoverable states (no
+	// surviving node to re-home onto), not degraded ones.
+	FailNode(id int) error
+	// RecoverNode brings a previously failed node back, empty.
+	RecoverNode(id int)
+	// Failed reports whether the node is currently marked failed.
+	Failed(id int) bool
 }
 
 // Completeness reports how much of a query's fan-out was actually served.

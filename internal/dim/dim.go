@@ -354,7 +354,7 @@ type zoneVisit struct {
 // degradable reports whether a unicast failure is one graceful
 // degradation absorbs; the shared predicate lives in dcs so pool, dim,
 // and ght stay in lockstep.
-func degradable(err error) bool { return dcs.Degradable(err) }
+func degradable(err error) bool { return dcs.IsDegradable(err) }
 
 // QueryWithReport is Query plus a Completeness report over the relevant
 // zones: how many the dissemination addressed, how many were served

@@ -16,6 +16,7 @@ import (
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/metrics"
 	"pooldcs/internal/network"
+	"pooldcs/internal/node"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
@@ -39,6 +40,18 @@ const burstLossRate = 0.3
 // detection window is an emergent property of the beacon exchange —
 // measured into the Detect columns — instead of a configured constant.
 const churnBeaconInterval = time.Second
+
+// churnServiceTime is the per-packet processing time of the actor
+// universe's nodes: with a real service model, message-driven repair
+// transfers occupy the same radios and queues live queries contend for,
+// so repair traffic measurably stretches query latency.
+const churnServiceTime = 2 * time.Millisecond
+
+// churnProbePeriod is the cadence of the actor universe's probe query
+// stream. Repair epochs are narrow — a few seconds of undetected crash
+// plus ~100 ms of election and transfer — so the interference columns
+// need a probe stream dense enough to land queries inside them.
+const churnProbePeriod = 250 * time.Millisecond
 
 // churnUniverse is one system under churn: its own radio, router, and
 // beacon protocol (so per-system traffic stays separable) plus the
@@ -85,6 +98,16 @@ type churnUniverse struct {
 // (growing with how much actually diverged), snapshot KB (growing with
 // store size however little differs), and the p95 divergence window a
 // repairing session closed.
+//
+// A sixth universe runs the actor engine with message-driven repair:
+// crashes detected over its beacons launch real multi-hop re-election
+// and mirror-transfer exchanges that share radios and service queues
+// with the live query stream. Its columns measure the interference:
+// mean recall and completeness (dipping while transfers are partial,
+// recovering as they converge), query p95 split by whether the query
+// was issued inside a repair epoch — from a holder's crash until its
+// re-election and restore transfers converge — the repair-latency
+// distribution itself, and the control-plane traffic repairs cost.
 func Churn(cfg Config, churnPcts []int) (*Result, error) {
 	title := fmt.Sprintf("Query degradation under churn, N=%d (recall vs oracle / completeness / msgs per query)", cfg.PartialSize)
 	table := texttable.New(title, "Churn%",
@@ -93,7 +116,9 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		"DIM recall", "DIM compl", "DIM msgs",
 		"GHT recall", "GHT compl", "GHT msgs",
 		"Detect p50 ms", "Detect p95 ms", "Drops",
-		"AE syms", "AE KB", "Snap KB", "Conv p95 ms")
+		"AE syms", "AE KB", "Snap KB", "Conv p95 ms",
+		"Node recall", "Node compl", "Quiet p95 ms", "Busy p95 ms",
+		"Rep p50 ms", "Rep p95 ms", "Rep ctrl KB")
 
 	// Each churn rate is a self-contained simulation — its own scheduler,
 	// layout, and four universes — so the rates fan out across workers.
@@ -116,9 +141,14 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				return nil, err
 			}
 			u := &churnUniverse{net: net, router: router, reg: reg}
-			u.sys = sys.(interface {
+			// The actor engine answers asynchronously and is queried
+			// through its own callback path below; every synchronous
+			// system exposes the blocking surface.
+			if qs, ok := sys.(interface {
 				QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error)
-			})
+			}); ok {
+				u.sys = qs
+			}
 			u.disc = discovery.New(net, sched, bsrc.Fork("beacons-"+name),
 				discovery.Config{Interval: churnBeaconInterval})
 			u.disc.EnableMetrics(reg)
@@ -165,8 +195,26 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The actor universe likewise draws from its own root source.
+		// Message-driven repair plus a per-packet service time: restore
+		// transfers queue behind (and ahead of) live query traffic.
+		nodeSrc := rng.New(cfg.Seed + 995_000 + int64(pct))
+		var nodeEng *node.Engine
+		nodeU, err := build("node", nodeSrc, func(net *network.Network, router *gpsr.Router, reg *metrics.Registry) (chaos.System, error) {
+			eng, err := node.NewEngine(net, router, sched, cfg.Dims, nodeSrc.Fork("pivots-node"), nil, node.WithReplication())
+			if err != nil {
+				return nil, err
+			}
+			eng.EnableService(churnServiceTime)
+			eng.EnableMetrics(reg)
+			nodeEng = eng
+			return eng, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		universes := []*churnUniverse{plain, repl, dimU, ghtU}
-		all5 := []*churnUniverse{plain, repl, dimU, ghtU, snap}
+		all6 := []*churnUniverse{plain, repl, dimU, ghtU, snap, nodeU}
 
 		// Background anti-entropy: rateless sessions repair the queried
 		// replicated universe; the unqueried snapshot universe pays the
@@ -200,6 +248,9 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			if err := snap.sys.(*pool.System).Insert(pe.Origin, pe.Event); err != nil {
 				return nil, err
 			}
+			if err := nodeEng.Preload(pe.Origin, pe.Event); err != nil {
+				return nil, err
+			}
 		}
 
 		// The same fault plan hits every universe. Loss bursts ride on the
@@ -226,12 +277,18 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			r := layout.Side * 0.1
 			plan.Burst(at, geo.RectFromCorners(geo.Pt(cx-r, cy-r), geo.Pt(cx+r, cy+r)), burstLossRate, churnHorizon/10)
 		}
-		for _, u := range all5 {
+		for _, u := range all6 {
 			if err := u.engine.Schedule(plan); err != nil {
 				return nil, err
 			}
 		}
 		var queryErr error
+		// Actor-universe probe latency, split by whether the probe
+		// addressed a cell mid-repair when issued; results land via
+		// callback whenever the distributed exchange finishes.
+		quietQ := stats.NewIntHistogram()
+		busyQ := stats.NewIntHistogram()
+		nodeDone := 0
 		for qi := 0; qi < cfg.Queries; qi++ {
 			at := time.Duration(qsrc.Float64() * float64(churnHorizon))
 			sink := qsrc.Intn(n)
@@ -265,15 +322,60 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 				return nil, err
 			}
 		}
+		// The actor universe answers its own denser probe stream — one
+		// query per churnProbePeriod, same workload generator — because
+		// the repair epochs it must sample are narrow: a probe only
+		// measures interference when one of its own relevant cells is
+		// mid-repair, and the sparse shared stream all but never lands
+		// one there. Each probe runs through the real message-driven
+		// fan-out; the callback fires when the last reply (or its
+		// declared failure) lands, so the elapsed time includes every
+		// ARQ timeout and queueing delay repair traffic inflicted.
+		pgen := workload.NewQueries(nodeSrc.Fork("probe-queries"), cfg.Dims)
+		psrc := nodeSrc.Fork("probe-sinks")
+		nProbes := int(churnHorizon / churnProbePeriod)
+		for pi := 0; pi < nProbes; pi++ {
+			at := time.Duration(pi)*churnProbePeriod + churnProbePeriod/2
+			sink := psrc.Intn(n)
+			q := pgen.ExactMatch(workload.UniformSizes)
+			if err := sched.At(at, func() {
+				for nodeU.engine.Down(sink) {
+					sink = (sink + 1) % n
+				}
+				oracle := q.Rewrite().Filter(all)
+				// A probe counts as degraded when one of its own relevant
+				// cells is inside a repair epoch — from the (possibly
+				// still undetected) crash of its holder until re-election
+				// and restore transfers converge — because those are the
+				// queries whose exchanges pay the failure detection, the
+				// mirror fallback, and the transfer contention.
+				degraded := nodeEng.QueryDegraded(q, nodeU.engine.Down)
+				err := nodeEng.QueryWithReport(sink, q, func(got []event.Event, comp dcs.Completeness, elapsed time.Duration) {
+					nodeU.sumRecall += recallOf(got, oracle)
+					nodeU.sumComp += comp.Fraction()
+					nodeDone++
+					if degraded {
+						busyQ.Add(elapsed.Milliseconds())
+					} else {
+						quietQ.Add(elapsed.Milliseconds())
+					}
+				})
+				if err != nil && queryErr == nil {
+					queryErr = fmt.Errorf("churn %d%% probe at %v: %w", pct, at, err)
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
 		// Beacons and reconcilers reschedule themselves forever; end every
 		// protocol at the horizon so the event queue drains.
-		for _, u := range all5 {
+		for _, u := range all6 {
 			u.disc.Start()
 		}
 		recAE.Start()
 		recSnap.Start()
 		if err := sched.At(churnHorizon, func() {
-			for _, u := range all5 {
+			for _, u := range all6 {
 				u.disc.Stop()
 			}
 			recAE.Stop()
@@ -285,10 +387,16 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		if queryErr != nil {
 			return nil, queryErr
 		}
+		if nodeDone != nProbes {
+			return nil, fmt.Errorf("churn %d%%: %d of %d actor probes never completed", pct, nProbes-nodeDone, nProbes)
+		}
+		for _, err := range nodeEng.Errors() {
+			return nil, fmt.Errorf("churn %d%% actor engine: %w", pct, err)
+		}
 		// Detection latency merges only the queried universes, so the
 		// Detect columns describe the systems the table compares.
 		detect := stats.NewIntHistogram()
-		for _, u := range all5 {
+		for _, u := range all6 {
 			for _, err := range u.engine.Errs() {
 				return nil, fmt.Errorf("churn %d%%: %w", pct, err)
 			}
@@ -330,6 +438,19 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			texttable.Float(float64(recAE.Bytes())/1024, 1),
 			texttable.Float(float64(recSnap.Bytes())/1024, 1),
 			texttable.Int(int(recAE.Convergence().Quantile(95))))
+		// The actor universe: accuracy under asynchronous repair, query
+		// latency with and without a repair in flight, the repair
+		// latencies themselves, and the control traffic repairs cost.
+		rep := nodeEng.RepairLatency()
+		_, repBytes := nodeEng.RepairTraffic()
+		row = append(row,
+			texttable.Float(nodeU.sumRecall/float64(nProbes), 3),
+			texttable.Float(nodeU.sumComp/float64(nProbes), 3),
+			texttable.Int(int(quietQ.Quantile(95))),
+			texttable.Int(int(busyQ.Quantile(95))),
+			texttable.Int(int(rep.Quantile(50))),
+			texttable.Int(int(rep.Quantile(95))),
+			texttable.Float(float64(repBytes)/1024, 1))
 		return row, nil
 	})
 	if err != nil {

@@ -59,6 +59,13 @@ func TestChurnDegradesGracefully(t *testing.T) {
 		aeKB       = 17
 		snapKB     = 18
 		convP95    = 19
+		nodeRecall = 20
+		nodeCompl  = 21
+		quietP95   = 22
+		busyP95    = 23
+		repP50     = 24
+		repP95     = 25
+		repKB      = 26
 	)
 	for row := range res.Table.Rows {
 		pct := int(cell(row, 0))
@@ -142,6 +149,65 @@ func TestChurnDegradesGracefully(t *testing.T) {
 			if ae <= cell(0, aeKB) {
 				t.Errorf("pct %d: rateless %v KB, want more than the no-churn %v KB",
 					pct, ae, cell(0, aeKB))
+			}
+		}
+	}
+
+	// The actor universe's interference columns. With no churn there is
+	// nothing to repair: every probe is quiet and complete, and the
+	// repair columns are all zero. Under churn, message-driven repairs
+	// actually ran — and the probes that addressed a mid-repair cell
+	// paid for it: their p95 must sit above the quiet p95, because a
+	// dead leg costs the full per-hop ARQ budget before the mirror
+	// fallback even starts, and transfer chunks contend for the same
+	// service queues.
+	for row := range res.Table.Rows {
+		pct := int(cell(row, 0))
+		for _, col := range []int{nodeRecall, nodeCompl} {
+			if v := cell(row, col); v < 0 || v > 1 {
+				t.Errorf("pct %d col %d: %v outside [0,1]", pct, col, v)
+			}
+		}
+		if v := cell(row, quietP95); v <= 0 {
+			t.Errorf("pct %d: quiet probe p95 %v ms, want > 0", pct, v)
+		}
+		if pct == 0 {
+			for _, col := range []int{nodeRecall, nodeCompl} {
+				if v := cell(row, col); v != 1 {
+					t.Errorf("no churn, node col %d: %v, want exactly 1", col, v)
+				}
+			}
+			for _, col := range []int{busyP95, repP50, repP95, repKB} {
+				if v := cell(row, col); v != 0 {
+					t.Errorf("no churn, repair col %d: %v, want 0 (nothing repaired)", col, v)
+				}
+			}
+		} else {
+			if busy, quiet := cell(row, busyP95), cell(row, quietP95); busy <= quiet {
+				t.Errorf("pct %d: degraded-probe p95 %v ms not above quiet p95 %v ms — repair traffic came for free", pct, busy, quiet)
+			}
+			p50, p95 := cell(row, repP50), cell(row, repP95)
+			if p50 <= 0 {
+				t.Errorf("pct %d: repair p50 %v ms, want > 0", pct, p50)
+			}
+			if p95 < p50 {
+				t.Errorf("pct %d: repair p95 %v < p50 %v", pct, p95, p50)
+			}
+			if v := cell(row, repKB); v <= 0 {
+				t.Errorf("pct %d: repair traffic %v KB, want > 0", pct, v)
+			}
+			// The dip-and-recovery shape: completeness drops below 1.0
+			// while holders are dead or transfers partial, but the
+			// repairs keep it above the unreplicated pool, which can
+			// only wait out every crash.
+			if v := cell(row, nodeCompl); v >= 1 {
+				t.Errorf("pct %d: node completeness %v, want a dip below 1", pct, v)
+			}
+			if nc, pc := cell(row, nodeCompl), cell(row, poolCompl); nc <= pc {
+				t.Errorf("pct %d: node completeness %v not above unreplicated pool %v — repair bought nothing", pct, nc, pc)
+			}
+			if v := cell(row, nodeRecall); v < 0.9 {
+				t.Errorf("pct %d: node recall %v, want ≥ 0.9 with repair running", pct, v)
 			}
 		}
 	}

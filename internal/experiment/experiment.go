@@ -48,6 +48,15 @@ type Config struct {
 	// churn experiment's replicated universes (0 selects the
 	// antientropy default of 5s).
 	RepairPeriod time.Duration
+	// Backend selects the storage implementation for the experiments
+	// that support both: "" or "pool" runs the synchronous specification
+	// (global-knowledge repair), "node" runs the event-driven actor
+	// engine, whose fault repair plays out as real multi-hop exchanges.
+	Backend string
+	// Repair enables mirror replication — and, on the node backend,
+	// message-driven mirror restoration — for the backend-aware
+	// experiments.
+	Repair bool
 }
 
 // Default returns the paper's §5.1 parameters.

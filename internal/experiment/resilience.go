@@ -4,9 +4,13 @@ import (
 	"fmt"
 
 	"pooldcs/internal/event"
+	"pooldcs/internal/field"
+	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
+	"pooldcs/internal/node"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
+	"pooldcs/internal/sim"
 	"pooldcs/internal/texttable"
 	"pooldcs/internal/workload"
 )
@@ -16,7 +20,14 @@ import (
 // the resilient-DCS work the paper cites as [7]): the fraction of stored
 // events still retrievable after a growing share of nodes dies, plus the
 // recovery traffic replication spends.
+//
+// With cfg.Backend == "node" the sweep runs on the event-driven actor
+// engine instead (see resilienceNode): the same crash storm, but every
+// re-election and mirror restore is a real multi-hop exchange.
 func Resilience(cfg Config, failPcts []int) (*Result, error) {
+	if cfg.Backend == "node" {
+		return resilienceNode(cfg, failPcts)
+	}
 	title := fmt.Sprintf("Query recall under node failures, N=%d", cfg.PartialSize)
 	table := texttable.New(title, "Failed%", "Pool recall", "Pool+replica recall", "RecoveryMsgs")
 
@@ -93,6 +104,103 @@ func Resilience(cfg Config, failPcts []int) (*Result, error) {
 			texttable.Float(rows[i].plain, 3),
 			texttable.Float(rows[i].repl, 3),
 			texttable.Int(rows[i].recoveryMsgs))
+	}
+	return &Result{ID: "ablation-resilience", Title: title, Table: table}, nil
+}
+
+// resilienceNode is the actor-engine flavour of the resilience sweep
+// (poolsim -backend=node, optionally -repair). Each crash tears the
+// victim down at every layer — routing, radio, storage — and, when
+// replication is on, launches the message-driven repair: suspicion,
+// re-election claims and grants, and hop-by-hop mirror transfer chunks,
+// all racing the other crashes of the storm. The query drains the
+// scheduler, so the reported recall is the post-convergence state; the
+// repair columns price what convergence cost.
+func resilienceNode(cfg Config, failPcts []int) (*Result, error) {
+	mode := "unreplicated"
+	if cfg.Repair {
+		mode = "mirrored, message-driven restore"
+	}
+	title := fmt.Sprintf("Query recall under node failures, N=%d (actor backend, %s)", cfg.PartialSize, mode)
+	table := texttable.New(title, "Failed%", "Recall", "Compl", "Repair msgs", "Rep p95 ms")
+
+	type row struct {
+		recall, compl float64
+		msgs          uint64
+		p95           int64
+	}
+	rows, err := forEach(cfg.parallel(), len(failPcts), func(i int) (row, error) {
+		pct := failPcts[i]
+		src := rng.New(cfg.Seed + 9800 + int64(pct))
+		layout, err := field.Generate(field.DefaultSpec(cfg.PartialSize), src.Fork("layout"))
+		if err != nil {
+			return row{}, err
+		}
+		sched := sim.NewScheduler()
+		net := network.New(layout)
+		router := gpsr.New(layout)
+		var opts []node.Option
+		if cfg.Repair {
+			opts = append(opts, node.WithReplication())
+		}
+		eng, err := node.NewEngine(net, router, sched, cfg.Dims, src.Fork("pivots"), nil, opts...)
+		if err != nil {
+			return row{}, err
+		}
+		sys := node.NewSync("node", eng, sched)
+
+		events := GenerateEvents(layout, cfg.EventsPerNode, workload.NewUniformEvents(src.Fork("events"), cfg.Dims))
+		for _, pe := range events {
+			if err := sys.Insert(pe.Origin, pe.Event); err != nil {
+				return row{}, err
+			}
+		}
+
+		killSrc := src.Fork("kills")
+		toKill := cfg.PartialSize * pct / 100
+		killed := make(map[int]bool, toKill)
+		for len(killed) < toKill {
+			v := killSrc.Intn(cfg.PartialSize)
+			if killed[v] {
+				continue
+			}
+			killed[v] = true
+			router.Exclude(v)
+			net.FailNode(v)
+			if err := sys.FailNode(v); err != nil {
+				return row{}, err
+			}
+		}
+		sink := 0
+		for killed[sink] {
+			sink++
+		}
+
+		full := event.NewQuery(event.Span(0, 1), event.Span(0, 1), event.Span(0, 1))
+		got, comp, err := sys.QueryWithReport(sink, full)
+		if err != nil {
+			return row{}, err
+		}
+		if errs := eng.Errors(); len(errs) > 0 {
+			return row{}, fmt.Errorf("resilience %d%%: %w", pct, errs[0])
+		}
+		msgs, _ := eng.RepairTraffic()
+		return row{
+			recall: float64(len(got)) / float64(len(events)),
+			compl:  comp.Fraction(),
+			msgs:   msgs,
+			p95:    eng.RepairLatency().Quantile(95),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pct := range failPcts {
+		table.AddRow(texttable.Int(pct),
+			texttable.Float(rows[i].recall, 3),
+			texttable.Float(rows[i].compl, 3),
+			texttable.Int(int(rows[i].msgs)),
+			texttable.Int(int(rows[i].p95)))
 	}
 	return &Result{ID: "ablation-resilience", Title: title, Table: table}, nil
 }

@@ -279,14 +279,14 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 		label := fmt.Sprintf("M%d %v", mi, pt)
 		home, err := s.home(cur, pt)
 		if err != nil {
-			if !dcs.Degradable(err) {
+			if !dcs.IsDegradable(err) {
 				return nil, comp, fmt.Errorf("ght: query: %w", err)
 			}
 			comp.Unreached = append(comp.Unreached, label)
 			continue
 		}
 		if _, err := dcs.UnicastOpts(s.net, s.router, cur, home, network.KindQuery, qBytes, s.arq); err != nil {
-			if !dcs.Degradable(err) {
+			if !dcs.IsDegradable(err) {
 				return nil, comp, fmt.Errorf("ght: query: %w", err)
 			}
 			// The home timed out. GHT has no alternate holder for a hashed
@@ -294,7 +294,7 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 			// re-attempt the same node once.
 			comp.Retries++
 			if _, err := dcs.UnicastOpts(s.net, s.router, cur, home, network.KindQuery, qBytes, s.arq); err != nil {
-				if !dcs.Degradable(err) {
+				if !dcs.IsDegradable(err) {
 					return nil, comp, fmt.Errorf("ght: query: %w", err)
 				}
 				comp.Unreached = append(comp.Unreached, label)
@@ -306,12 +306,12 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 		if len(found) > 0 || s.replDepth == 0 {
 			replyBytes := dcs.ReplyBytes(q.Dims(), len(found))
 			if _, err := dcs.UnicastOpts(s.net, s.router, home, sink, network.KindReply, replyBytes, s.arq); err != nil {
-				if !dcs.Degradable(err) {
+				if !dcs.IsDegradable(err) {
 					return nil, comp, fmt.Errorf("ght: reply: %w", err)
 				}
 				comp.Retries++
 				if _, err := dcs.UnicastOpts(s.net, s.router, home, sink, network.KindReply, replyBytes, s.arq); err != nil {
-					if !dcs.Degradable(err) {
+					if !dcs.IsDegradable(err) {
 						return nil, comp, fmt.Errorf("ght: reply: %w", err)
 					}
 					// The reply never made it back: the mirror's matches are

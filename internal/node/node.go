@@ -5,18 +5,25 @@
 //
 // The synchronous pool.System is the protocol's specification — it
 // orchestrates the same algorithms (Theorem 3.1 insertion, Theorem 3.2
-// resolving, §3.2.3 splitter trees) from a single vantage point. This
+// resolving, §3.2.3 splitter trees, the failure-retry policy, cell
+// mirroring, and index re-election) from a single vantage point. This
 // package executes them as real distributed message exchanges: the sink
 // hears nothing until replies physically arrive, splitters gather
-// acknowledgements from their cells before answering, and concurrent
-// operations interleave. Equivalence tests in node_test.go check both
-// implementations return identical result sets on identical workloads.
+// acknowledgements from their cells before answering, concurrent
+// operations interleave, and — in repair.go — a crashed index node's
+// role is re-claimed and its mirrored state pulled back hop by hop
+// while live queries compete for the same radio. Equivalence tests in
+// node_test.go and the internal/systemtest conformance harness check
+// both implementations return identical result sets on identical
+// workloads, before and after faults.
 //
-// Scope: insertion and range queries (the paper's core). Workload
-// sharing, replication, and aggregates remain on the synchronous system.
+// Scope: insertion, range queries, replication, and message-driven
+// fault repair. Workload sharing and aggregates remain on the
+// synchronous system.
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -30,32 +37,29 @@ import (
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/stats"
 )
 
 // DefaultHopLatency is the per-hop transmission plus processing delay.
 const DefaultHopLatency = 5 * time.Millisecond
 
-// pktKind discriminates protocol packets.
-type pktKind int
+// Option configures NewEngine.
+type Option interface {
+	apply(*Engine)
+}
 
-const (
-	pktInsert    pktKind = iota + 1 // origin → cell index node
-	pktQuery                        // sink → splitter
-	pktCellQuery                    // splitter → cell index node
-	pktCellReply                    // cell index node → splitter (always, as ack)
-	pktPoolReply                    // splitter → sink
-)
+type optionFunc func(*Engine)
 
-// packet is one in-flight protocol message.
-type packet struct {
-	kind    pktKind
-	opID    uint64
-	sink    int
-	poolDim int
-	cell    pool.CellID
-	event   event.Event
-	query   event.Query
-	results []event.Event
+func (f optionFunc) apply(e *Engine) { f(e) }
+
+// WithReplication enables cell-level mirroring, the same design as
+// pool.WithReplication: every stored event is copied to the cell's
+// mirror node (the second-closest node to the cell centre), queries
+// retry through the mirror when the index node is unreachable, and
+// message-driven repair (repair.go) restores a re-elected index node's
+// store from the mirror copy.
+func WithReplication() Option {
+	return optionFunc(func(e *Engine) { e.replicate = true })
 }
 
 // Engine owns the actors and the shared (configuration-time) structures:
@@ -82,12 +86,30 @@ type Engine struct {
 	svcDepth    []int
 	svcMaxDepth int
 
-	// Per-node storage: the state each actor owns.
-	store []map[storeKey][]event.Event
+	// Per-node storage: the state each actor owns. stored counts events
+	// per primary holder (mirror copies excluded), matching
+	// pool.System's accounting.
+	store  []map[storeKey][]event.Event
+	stored []int
+
+	// Fault and replication state.
+	dead        []bool
+	replicate   bool
+	mirrors     map[storeKey]int
+	mirrorStore map[storeKey][]event.Event
+
+	// Repair-protocol state (repair.go).
+	repairs      map[int]*repairRun
+	elects       map[pool.CellID]*electTask
+	xfers        map[storeKey]*xferTask
+	transferring map[storeKey]bool
+	repairHist   *stats.IntHistogram
+	repairMsgs   uint64
+	repairBytes  uint64
 
 	// In-flight operation state, keyed by operation id. Gather state
-	// conceptually lives at the gathering node; it is keyed here by
-	// (opID) with the owning node recorded for assertions.
+	// conceptually lives at the gathering node; it is carried here in
+	// closures scheduled at that node's virtual position.
 	ops  map[uint64]*operation
 	seq  uint64
 	errs []error
@@ -104,17 +126,16 @@ type storeKey struct {
 	cell pool.CellID
 }
 
-// operation tracks an in-flight insert or query.
+// operation tracks an in-flight query.
 type operation struct {
 	id   uint64
 	sink int
-	// perPool tracks, per splitter gather, how many cell replies remain.
-	pending map[int]*gather // keyed by pool dim
 	// poolsLeft is how many pool replies the sink still awaits.
 	poolsLeft int
 	results   []event.Event
+	comp      dcs.Completeness
 	started   time.Duration
-	onDone    func(results []event.Event, elapsed time.Duration)
+	onDone    func(results []event.Event, comp dcs.Completeness, elapsed time.Duration)
 }
 
 // gather is the reply-collection state a splitter keeps for one query.
@@ -122,12 +143,23 @@ type gather struct {
 	splitter  int
 	cellsLeft int
 	results   []event.Event
+	// served records each reached cell and its match count, so the final
+	// reply leg can demote served cells when the aggregate reply is lost
+	// — the same bookkeeping as the synchronous queryPool.
+	served []servedCell
+}
+
+// servedCell records one reached cell of a fan-out and how many matches
+// the splitter holds for it.
+type servedCell struct {
+	cell    pool.CellID
+	matches int
 }
 
 // NewEngine builds the actor network. Pivot placement mirrors
 // pool.New's, so the same rng seed yields the same Pool layout as the
 // synchronous system.
-func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source, pivots []pool.CellID) (*Engine, error) {
+func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source, pivots []pool.CellID, opts ...Option) (*Engine, error) {
 	if dims < 1 {
 		return nil, fmt.Errorf("node: dimensionality must be ≥ 1, got %d", dims)
 	}
@@ -152,19 +184,33 @@ func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, 
 	}
 
 	e := &Engine{
-		layout:     layout,
-		router:     router,
-		net:        net,
-		sched:      sched,
-		dims:       dims,
-		grid:       grid,
-		holder:     make(map[pool.CellID]int),
-		hopLatency: DefaultHopLatency,
-		store:      make([]map[storeKey][]event.Event, layout.N()),
-		ops:        make(map[uint64]*operation),
+		layout:       layout,
+		router:       router,
+		net:          net,
+		sched:        sched,
+		dims:         dims,
+		grid:         grid,
+		holder:       make(map[pool.CellID]int),
+		hopLatency:   DefaultHopLatency,
+		store:        make([]map[storeKey][]event.Event, layout.N()),
+		stored:       make([]int, layout.N()),
+		dead:         make([]bool, layout.N()),
+		repairs:      make(map[int]*repairRun),
+		elects:       make(map[pool.CellID]*electTask),
+		xfers:        make(map[storeKey]*xferTask),
+		transferring: make(map[storeKey]bool),
+		repairHist:   stats.NewIntHistogram(),
+		ops:          make(map[uint64]*operation),
 	}
 	for i := range e.store {
 		e.store[i] = make(map[storeKey][]event.Event)
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	if e.replicate {
+		e.mirrors = make(map[storeKey]int)
+		e.mirrorStore = make(map[storeKey][]event.Event)
 	}
 	for i, pc := range pivots {
 		if pc.X < 0 || pc.Y < 0 || pc.X+pool.DefaultSide > grid.Cols || pc.Y+pool.DefaultSide > grid.Rows {
@@ -185,8 +231,8 @@ func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, 
 // EnableMetrics registers the engine's live metrics on reg: a per-node
 // mailbox-depth gauge (packets scheduled toward a node that have not yet
 // been delivered), insert/query counters, a function-backed gauge over
-// in-flight operations, and a transport-error counter. A nil registry is
-// a no-op.
+// in-flight operations and repairs, the repair-latency histogram, and a
+// transport-error counter. A nil registry is a no-op.
 func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		return
@@ -198,6 +244,10 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 	e.mSendErrs = reg.Counter("node_send_errors_total", "sends aborted by transport errors")
 	reg.GaugeFunc("node_inflight_ops", "operations awaiting completion",
 		func() float64 { return float64(len(e.ops)) })
+	reg.GaugeFunc("node_repairs_inflight", "crashed nodes whose repair exchanges are still in flight",
+		func() float64 { return float64(len(e.repairs)) })
+	reg.HistogramOf("node_repair_latency_ms", "crash-to-convergence latency of message-driven repairs",
+		e.repairHist)
 	reg.NodeGaugeFunc("node_stored_events", "events held per actor node", e.layout.N(),
 		func(i int) float64 {
 			var n float64
@@ -208,20 +258,46 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 		})
 }
 
-// Errors returns transport errors recorded during the run (nil when the
-// run was clean). Errors abort the affected operation, not the engine.
+// Errors returns non-degradable transport errors recorded during the
+// run (nil when the run was clean). Degradable failures — dead radios,
+// partitions, exhausted hop budgets — are not errors: they feed the
+// operation-level retry and completeness machinery instead.
 func (e *Engine) Errors() []error { return e.errs }
 
 // Pools returns the engine's Pool layout.
 func (e *Engine) Pools() []pool.Pool { return e.pools }
 
 // send moves a packet from one node to another hop by hop; each hop is a
-// scheduled radio transmission. deliver runs at the destination when the
-// last hop lands.
-func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func()) {
+// scheduled radio transmission with per-hop link-layer retransmission
+// (the same dcs.DefaultMaxRetransmissions budget the synchronous
+// unicast applies). Exactly one of deliver or fail runs: deliver at the
+// destination when the last hop lands, fail at the virtual time the
+// exchange is known lost — the route is unreachable, a dead radio
+// blocks a hop, or a hop exhausts its retry budget. A nil fail drops
+// degradable losses silently (the caller has no retry policy); a
+// non-degradable fault is always recorded in Errors.
+func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(), fail func(error)) {
 	e.mMailbox.Add(to, 1)
+	failed := func(err error) {
+		e.mMailbox.Add(to, -1)
+		e.mSendErrs.Inc()
+		if !dcs.IsDegradable(err) {
+			e.errs = append(e.errs, err)
+		}
+		if fail != nil {
+			fail(err)
+		}
+	}
 	delivered := func() {
 		e.process(to, func() {
+			// The frame was acked into the receiver's queue, but a mote
+			// that dies before servicing it takes the queue down with
+			// its RAM: the exchange is lost, and the sender's only
+			// signal is silence.
+			if !e.net.Alive(to) {
+				failed(fmt.Errorf("node: %d died with the packet queued: %w", to, dcs.ErrUnreachable))
+				return
+			}
 			e.mMailbox.Add(to, -1)
 			deliver()
 		})
@@ -232,39 +308,68 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func())
 	}
 	res, err := e.router.RouteToNode(from, to)
 	if err != nil {
-		e.errs = append(e.errs, fmt.Errorf("node: send %d→%d: %w", from, to, err))
-		e.mSendErrs.Inc()
-		e.mMailbox.Add(to, -1)
+		wrapped := fmt.Errorf("node: send %d→%d: %w", from, to, err)
+		if errors.Is(err, gpsr.ErrUnreachable) {
+			wrapped = fmt.Errorf("node: send %d→%d: %v: %w", from, to, err, dcs.ErrUnreachable)
+		}
+		e.sched.After(0, func() { failed(wrapped) })
 		return
 	}
 	path := res.Path
-	var hop func(i int)
-	hop = func(i int) {
+	var hop func(i, attempt int)
+	hop = func(i, attempt int) {
 		if i >= len(path)-1 {
 			delivered()
 			return
 		}
-		if err := e.net.Transmit(path[i], path[i+1], kind, size); err != nil {
-			e.errs = append(e.errs, fmt.Errorf("node: transmit: %w", err))
-			e.mSendErrs.Inc()
-			e.mMailbox.Add(to, -1)
-			return
+		err := e.net.Transmit(path[i], path[i+1], kind, size)
+		switch {
+		case err == nil:
+			e.sched.After(e.hopLatency, func() {
+				// The frame arrives now. A receiver that died while it
+				// was on the air never takes it — reception needs a
+				// powered radio at arrival time, not just at transmit
+				// time — and the sender, hearing no ack, retransmits.
+				if !e.net.Alive(path[i+1]) {
+					if attempt >= dcs.DefaultMaxRetransmissions {
+						failed(fmt.Errorf("node: hop %d→%d died mid-flight: %w",
+							path[i], path[i+1], dcs.ErrUnreachable))
+						return
+					}
+					hop(i, attempt+1)
+					return
+				}
+				hop(i+1, 1)
+			})
+		case errors.Is(err, network.ErrFrameLost):
+			if attempt >= dcs.DefaultMaxRetransmissions {
+				failed(fmt.Errorf("node: hop %d→%d dropped after %d attempts: %w",
+					path[i], path[i+1], attempt, dcs.ErrHopExhausted))
+				return
+			}
+			e.sched.After(e.hopLatency, func() { hop(i, attempt+1) })
+		case errors.Is(err, network.ErrNodeDown):
+			// A dead neighbour is indistinguishable from frame loss at
+			// the link layer — no ack comes back either way — so the
+			// relay burns its whole retransmission budget before giving
+			// up. Failure detection costs the full ARQ timeout; it is
+			// not a free NACK from a corpse.
+			if attempt >= dcs.DefaultMaxRetransmissions {
+				failed(fmt.Errorf("node: hop %d→%d: %v: %w", path[i], path[i+1], err, dcs.ErrUnreachable))
+				return
+			}
+			e.sched.After(e.hopLatency, func() { hop(i, attempt+1) })
+		default:
+			failed(fmt.Errorf("node: transmit: %w", err))
 		}
-		e.sched.After(e.hopLatency, func() { hop(i + 1) })
 	}
-	hop(0)
+	hop(0, 1)
 }
 
-// Insert injects an event at its detecting sensor. done (optional) fires
-// when the index node has stored it.
-func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
-	if err := ev.Validate(); err != nil {
-		return fmt.Errorf("node: %w", err)
-	}
-	if ev.Dims() != e.dims {
-		return fmt.Errorf("node: event has %d dims, engine built for %d", ev.Dims(), e.dims)
-	}
-	// §4.1 tie rule, identical to the synchronous system.
+// placement runs the §4.1 tie rule, identical to the synchronous
+// system: among the pools of the event's greatest attributes, the
+// candidate cell closest to the detecting sensor wins.
+func (e *Engine) placement(origin int, ev event.Event) (index int, key storeKey) {
 	dims := event.GreatestDims(ev)
 	originCell := e.grid.CellOf(e.layout.Pos(origin))
 	bestDim, bestCell, bestDist := -1, pool.CellID{}, math.Inf(1)
@@ -274,21 +379,104 @@ func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
 			bestDim, bestCell, bestDist = d, cell, dist
 		}
 	}
-	index := e.holder[bestCell]
-	key := storeKey{dim: bestDim, cell: bestCell}
+	return e.holder[bestCell], storeKey{dim: bestDim, cell: bestCell}
+}
+
+// validateEvent applies the shared insert preconditions.
+func (e *Engine) validateEvent(ev event.Event) error {
+	if err := ev.Validate(); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	if ev.Dims() != e.dims {
+		return fmt.Errorf("node: event has %d dims, engine built for %d", ev.Dims(), e.dims)
+	}
+	return nil
+}
+
+// Insert injects an event at its detecting sensor. done (optional) fires
+// when the index node has stored it. With replication the mirror copy
+// rides a second exchange; an unreachable index node loses the event
+// (the radio-level loss the synchronous system reports as an insert
+// error).
+func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
+	if err := e.validateEvent(ev); err != nil {
+		return err
+	}
+	index, key := e.placement(origin, ev)
 	e.mInserts.Inc()
 	e.send(origin, index, network.KindInsert, dcs.EventBytes(e.dims), func() {
-		e.store[index][key] = append(e.store[index][key], ev)
+		e.storeEvent(key, index, ev, true)
 		if done != nil {
 			done()
 		}
-	})
+	}, nil)
 	return nil
+}
+
+// Preload stores an event synchronously through global knowledge — no
+// packets, no virtual time — so experiments can load a population
+// before the clock starts. Placement, storage, and mirror election are
+// identical to a drained Insert; only the radio traffic is skipped.
+func (e *Engine) Preload(origin int, ev event.Event) error {
+	if err := e.validateEvent(ev); err != nil {
+		return err
+	}
+	index, key := e.placement(origin, ev)
+	e.storeEvent(key, index, ev, false)
+	return nil
+}
+
+// storeEvent lands an event at its primary holder and mirrors it when
+// replication is on, electing the mirror on first use with the same
+// rule as the synchronous mirrorEvent (pool.NearestAlive excluding the
+// index node). viaRadio selects whether the mirror copy is a real
+// exchange or a preload-time bookkeeping write.
+func (e *Engine) storeEvent(key storeKey, index int, ev event.Event, viaRadio bool) {
+	e.store[index][key] = append(e.store[index][key], ev)
+	e.stored[index]++
+	if !e.replicate {
+		return
+	}
+	mirror, ok := e.mirrors[key]
+	if !ok {
+		mirror = pool.NearestAlive(e.layout, e.dead, e.grid.Center(key.cell), index)
+		e.mirrors[key] = mirror
+	}
+	if mirror < 0 || e.dead[mirror] {
+		return
+	}
+	if !viaRadio {
+		e.mirrorStore[key] = append(e.mirrorStore[key], ev)
+		return
+	}
+	e.send(index, mirror, network.KindInsert, dcs.EventBytes(e.dims), func() {
+		e.mirrorStore[key] = append(e.mirrorStore[key], ev)
+	}, nil)
 }
 
 // Query issues a range query at the sink. onDone fires when the last pool
 // reply lands, with the gathered results and the elapsed virtual time.
 func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Event, elapsed time.Duration)) error {
+	var wrapped func([]event.Event, dcs.Completeness, time.Duration)
+	if onDone != nil {
+		wrapped = func(results []event.Event, _ dcs.Completeness, elapsed time.Duration) {
+			onDone(results, elapsed)
+		}
+	}
+	return e.QueryWithReport(sink, q, wrapped)
+}
+
+// QueryWithReport is Query plus a dcs.Completeness report, resolved
+// with the same splitter fan-out, retry, and graceful-degradation
+// policy as the synchronous pool.System.QueryWithReport — but
+// message-driven: an unreachable splitter is retried once through the
+// next-closest index node, an unreachable cell once through its mirror
+// (or re-attempted), each reply leg once, and a lost aggregate reply
+// demotes the cells whose matches it carried. A cell whose mirror
+// transfer is still in flight after a repair serves whatever slice has
+// arrived and is reported unreached — the measured completeness dips
+// until the transfer converges.
+func (e *Engine) QueryWithReport(sink int, q event.Query, onDone func(results []event.Event, comp dcs.Completeness, elapsed time.Duration)) error {
 	if err := q.Validate(); err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
@@ -300,7 +488,6 @@ func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Even
 	op := &operation{
 		id:      e.seq,
 		sink:    sink,
-		pending: make(map[int]*gather),
 		started: e.sched.Now(),
 		onDone:  onDone,
 	}
@@ -322,15 +509,45 @@ func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Even
 		e.sched.After(0, func() { e.finish(op) })
 		return nil
 	}
-	qBytes := dcs.QueryBytes(e.dims)
 	for _, plan := range plans {
 		plan := plan
-		splitter := e.splitterFor(plan.p, sink)
-		e.send(sink, splitter, network.KindQuery, qBytes, func() {
-			e.runSplitter(op, plan.p, splitter, plan.cells, rq)
-		})
+		op.comp.CellsTotal += len(plan.cells)
+		e.startPool(op, plan.p, plan.cells, rq)
 	}
 	return nil
+}
+
+// startPool launches one pool's fan-out: sink → splitter, with the
+// one-retry alternate-splitter policy on failure.
+func (e *Engine) startPool(op *operation, p pool.Pool, cells []pool.CellID, rq event.Query) {
+	qBytes := dcs.QueryBytes(e.dims)
+	splitter := e.splitterFor(p, op.sink)
+	e.send(op.sink, splitter, network.KindQuery, qBytes, func() {
+		e.runSplitter(op, p, splitter, cells, rq)
+	}, func(error) {
+		// The splitter timed out: retry once through the Pool's
+		// next-closest index node.
+		alt := e.alternateSplitter(p, op.sink, splitter)
+		if alt < 0 {
+			e.poolUnreached(op, p, cells)
+			return
+		}
+		op.comp.Retries++
+		e.send(op.sink, alt, network.KindQuery, qBytes, func() {
+			e.runSplitter(op, p, alt, cells, rq)
+		}, func(error) {
+			e.poolUnreached(op, p, cells)
+		})
+	})
+}
+
+// poolUnreached abandons a whole pool's fan-out: every relevant cell
+// goes unreached.
+func (e *Engine) poolUnreached(op *operation, p pool.Pool, cells []pool.CellID) {
+	for _, c := range cells {
+		op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, c))
+	}
+	e.poolDone(op)
 }
 
 // runSplitter executes the splitter role: fan the query out to every
@@ -338,37 +555,140 @@ func (e *Engine) Query(sink int, q event.Query, onDone func(results []event.Even
 // completion detectable) from each.
 func (e *Engine) runSplitter(op *operation, p pool.Pool, splitter int, cells []pool.CellID, rq event.Query) {
 	g := &gather{splitter: splitter, cellsLeft: len(cells)}
-	op.pending[p.Dim] = g
-	qBytes := dcs.QueryBytes(e.dims)
 	for _, c := range cells {
-		c := c
-		index := e.holder[c]
-		key := storeKey{dim: p.Dim, cell: c}
-		e.send(splitter, index, network.KindQuery, qBytes, func() {
-			matches := rq.Filter(e.store[index][key])
-			e.send(index, splitter, network.KindReply, dcs.ReplyBytes(e.dims, len(matches)), func() {
-				g.results = append(g.results, matches...)
-				g.cellsLeft--
-				if g.cellsLeft == 0 {
-					e.send(splitter, op.sink, network.KindReply,
-						dcs.ReplyBytes(e.dims, len(g.results)), func() {
-							op.results = append(op.results, g.results...)
-							op.poolsLeft--
-							if op.poolsLeft == 0 {
-								e.finish(op)
-							}
-						})
-				}
+		e.queryCellVia(op, g, p, c, rq)
+	}
+}
+
+// queryCellVia queries one cell through the splitter: one retry on
+// failure, preferring the cell's mirror when replication keeps an alive
+// copy, otherwise re-attempting the primary — the synchronous
+// queryCellVia policy, message by message.
+func (e *Engine) queryCellVia(op *operation, g *gather, p pool.Pool, c pool.CellID, rq event.Query) {
+	qBytes := dcs.QueryBytes(e.dims)
+	key := storeKey{dim: p.Dim, cell: c}
+	index := e.holder[c]
+	e.send(g.splitter, index, network.KindQuery, qBytes, func() {
+		e.serveCell(op, g, p, c, key, index, false, rq)
+	}, func(error) {
+		op.comp.Retries++
+		if m, ok := e.mirrorFor(key, index); ok {
+			e.send(g.splitter, m, network.KindQuery, qBytes, func() {
+				e.serveCell(op, g, p, c, key, m, true, rq)
+			}, func(error) {
+				e.cellUnreached(op, g, p, c)
 			})
+			return
+		}
+		// No mirror: back off and re-attempt the primary once.
+		e.send(g.splitter, index, network.KindQuery, qBytes, func() {
+			e.serveCell(op, g, p, c, key, index, false, rq)
+		}, func(error) {
+			e.cellUnreached(op, g, p, c)
 		})
+	})
+}
+
+// serveCell runs at the queried node: filter the store (or the mirror
+// copy), then return the reply to the splitter, retrying the leg once.
+// A cell whose restore transfer is still streaming serves its partial
+// slice but is reported unreached (degraded completeness).
+func (e *Engine) serveCell(op *operation, g *gather, p pool.Pool, c pool.CellID, key storeKey, target int, useMirror bool, rq event.Query) {
+	var matches []event.Event
+	partial := false
+	if useMirror {
+		matches = rq.Filter(e.mirrorStore[key])
+	} else {
+		matches = rq.Filter(e.store[target][key])
+		partial = e.transferring[key]
+	}
+	reply := dcs.ReplyBytes(e.dims, len(matches))
+	deliver := func() { e.cellServed(op, g, p, c, matches, partial) }
+	e.send(target, g.splitter, network.KindReply, reply, deliver, func(error) {
+		op.comp.Retries++
+		e.send(target, g.splitter, network.KindReply, reply, deliver, func(error) {
+			e.cellUnreached(op, g, p, c)
+		})
+	})
+}
+
+// cellServed lands one cell's reply at the splitter.
+func (e *Engine) cellServed(op *operation, g *gather, p pool.Pool, c pool.CellID, matches []event.Event, partial bool) {
+	g.results = append(g.results, matches...)
+	if partial {
+		op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, c))
+	} else {
+		g.served = append(g.served, servedCell{cell: c, matches: len(matches)})
+	}
+	g.cellsLeft--
+	if g.cellsLeft == 0 {
+		e.finishPool(op, g, p)
+	}
+}
+
+// cellUnreached records one cell lost through the retry policy.
+func (e *Engine) cellUnreached(op *operation, g *gather, p pool.Pool, c pool.CellID) {
+	op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, c))
+	g.cellsLeft--
+	if g.cellsLeft == 0 {
+		e.finishPool(op, g, p)
+	}
+}
+
+// finishPool returns the splitter's aggregate reply to the sink,
+// retrying once; a double failure demotes the served cells whose
+// matches the lost reply carried (empty cells still count reached, as
+// in the fault-free protocol).
+func (e *Engine) finishPool(op *operation, g *gather, p pool.Pool) {
+	reply := dcs.ReplyBytes(e.dims, len(g.results))
+	success := func() {
+		op.comp.CellsReached += len(g.served)
+		op.results = append(op.results, g.results...)
+		e.poolDone(op)
+	}
+	e.send(g.splitter, op.sink, network.KindReply, reply, success, func(error) {
+		op.comp.Retries++
+		e.send(g.splitter, op.sink, network.KindReply, reply, success, func(error) {
+			for _, sc := range g.served {
+				if sc.matches > 0 {
+					op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, sc.cell))
+				} else {
+					op.comp.CellsReached++
+				}
+			}
+			e.poolDone(op)
+		})
+	})
+}
+
+// poolDone retires one pool of the fan-out, finishing the operation
+// when it was the last.
+func (e *Engine) poolDone(op *operation) {
+	op.poolsLeft--
+	if op.poolsLeft == 0 {
+		e.finish(op)
 	}
 }
 
 func (e *Engine) finish(op *operation) {
 	delete(e.ops, op.id)
 	if op.onDone != nil {
-		op.onDone(op.results, e.sched.Now()-op.started)
+		op.onDone(op.results, op.comp, e.sched.Now()-op.started)
 	}
+}
+
+// mirrorFor returns the cell's mirror node when replication keeps an
+// alive copy distinct from the (unreachable) index node — the same
+// predicate as the synchronous system's.
+func (e *Engine) mirrorFor(key storeKey, index int) (int, bool) {
+	if !e.replicate {
+		return -1, false
+	}
+	m, elected := e.mirrors[key]
+	if !elected || m < 0 || m == index || e.dead[m] {
+		return -1, false
+	}
+	return m, true
 }
 
 // splitterFor mirrors pool.System.SplitterFor.
@@ -382,4 +702,30 @@ func (e *Engine) splitterFor(p pool.Pool, sink int) int {
 		}
 	}
 	return best
+}
+
+// alternateSplitter mirrors pool.System.alternateSplitter: the Pool's
+// index node closest to the sink among nodes other than avoid, or -1
+// when the Pool has no other holder.
+func (e *Engine) alternateSplitter(p pool.Pool, sink, avoid int) int {
+	sinkPos := e.layout.Pos(sink)
+	best, bestD2 := -1, math.Inf(1)
+	for _, c := range p.Cells() {
+		h := e.holder[c]
+		if h == avoid {
+			continue
+		}
+		if d2 := e.layout.Pos(h).Dist2(sinkPos); d2 < bestD2 {
+			best, bestD2 = h, d2
+		}
+	}
+	return best
+}
+
+// StorageLoad implements dcs.StorageReporter: events currently held by
+// each node as primary (mirror copies excluded, matching pool.System).
+func (e *Engine) StorageLoad() []int {
+	out := make([]int, len(e.stored))
+	copy(out, e.stored)
+	return out
 }

@@ -1,0 +1,96 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"pooldcs/internal/dcs"
+	"pooldcs/internal/event"
+	"pooldcs/internal/sim"
+)
+
+// Sync adapts the actor engine to the synchronous storage-system
+// surface the conformance harness (and chaos engine) drive: each query
+// drains the scheduler, so from the caller's vantage point the
+// distributed exchange — including any fault repair still in flight —
+// has fully played out before the answer comes back. Fault hooks do
+// NOT drain: FailNode may legitimately fire inside a scheduler event
+// (beacon-timeout detection), and its repair converges during later
+// drains, exactly like a deployed network converging between
+// operations.
+//
+// Inserts use Preload (global-knowledge placement, no radio, no
+// virtual-time cost) after a drain: scenario scripts schedule absolute-
+// time events, so the load phase must not consume the clock. The
+// radio insert path is exercised by the engine's own tests and the
+// churn experiment.
+type Sync struct {
+	name  string
+	eng   *Engine
+	sched *sim.Scheduler
+}
+
+// NewSync wraps an engine and its scheduler under a flavour name.
+func NewSync(name string, eng *Engine, sched *sim.Scheduler) *Sync {
+	return &Sync{name: name, eng: eng, sched: sched}
+}
+
+// Engine returns the wrapped actor engine.
+func (s *Sync) Engine() *Engine { return s.eng }
+
+// Name identifies the flavour in reports.
+func (s *Sync) Name() string { return s.name }
+
+// Insert stores one event synchronously. The preceding drain lets any
+// in-flight repair converge first, so placement sees the post-repair
+// holder map — the synchronous system's FailNode likewise completes
+// before its caller can insert.
+func (s *Sync) Insert(origin int, ev event.Event) error {
+	s.sched.Run()
+	return s.eng.Preload(origin, ev)
+}
+
+// Query resolves q and returns the matching events.
+func (s *Sync) Query(sink int, q event.Query) ([]event.Event, error) {
+	results, _, err := s.QueryWithReport(sink, q)
+	return results, err
+}
+
+// QueryWithReport issues the query into the actor engine and drains the
+// scheduler until the distributed exchange completes.
+func (s *Sync) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Completeness, error) {
+	s.sched.Run()
+	var (
+		results []event.Event
+		comp    dcs.Completeness
+		fired   bool
+	)
+	err := s.eng.QueryWithReport(sink, q, func(r []event.Event, c dcs.Completeness, _ time.Duration) {
+		results, comp, fired = r, c, true
+	})
+	if err != nil {
+		return nil, comp, err
+	}
+	s.sched.Run()
+	if !fired {
+		return nil, comp, fmt.Errorf("node: query from %d never completed", sink)
+	}
+	return results, comp, nil
+}
+
+// FailNode implements dcs.Degradable by launching the message-driven
+// repair; the exchanges drain with the next operation.
+func (s *Sync) FailNode(id int) error { return s.eng.FailNode(id) }
+
+// RecoverNode implements dcs.Degradable.
+func (s *Sync) RecoverNode(id int) { s.eng.RecoverNode(id) }
+
+// Failed implements dcs.Degradable.
+func (s *Sync) Failed(id int) bool { return s.eng.Failed(id) }
+
+// StorageLoad reports per-node primary storage as of now. It must not
+// drain: callers inspect loads while periodic protocols (beacons) keep
+// the scheduler busy, and the load phase is synchronous anyway.
+func (s *Sync) StorageLoad() []int {
+	return s.eng.StorageLoad()
+}

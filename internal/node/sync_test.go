@@ -1,0 +1,130 @@
+package node
+
+import (
+	"testing"
+
+	"pooldcs/internal/event"
+	"pooldcs/internal/metrics"
+)
+
+// TestSyncAdapterSurface drives the whole synchronous facade the
+// conformance harness uses — insert, both query forms, the Degradable
+// hooks, load inspection — against a replicated engine with a real
+// crash in the middle, and checks the exported metrics register.
+func TestSyncAdapterSurface(t *testing.T) {
+	f := newRepairFixture(t, 40, 400, 5, WithReplication())
+	s := NewSync("node+repair", f.engine, f.sched)
+	if s.Name() != "node+repair" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+	if s.Engine() != f.engine {
+		t.Fatal("Engine() does not return the wrapped engine")
+	}
+	reg := metrics.New()
+	f.engine.EnableMetrics(reg)
+
+	ev := event.New(0.5, 0.5, 0.5)
+	ev.Seq = 90001
+	if err := s.Insert(3, ev); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range s.StorageLoad() {
+		total += l
+	}
+	if want := len(f.events) + 1; total != want {
+		t.Fatalf("stored %d events, want %d", total, want)
+	}
+	if v := reg.Value("node_stored_events"); int(v) != total {
+		t.Fatalf("node_stored_events = %v, want %d", v, total)
+	}
+
+	results, comp, err := s.QueryWithReport(0, fullQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Complete() {
+		t.Fatalf("healthy universe incomplete: %d/%d", comp.CellsReached, comp.CellsTotal)
+	}
+	if len(results) != len(f.events)+1 {
+		t.Fatalf("recall %d/%d", len(results), len(f.events)+1)
+	}
+	plain, err := s.Query(0, fullQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(results) {
+		t.Fatalf("Query returned %d, QueryWithReport %d", len(plain), len(results))
+	}
+
+	victim := f.mostLoaded()
+	f.router.Exclude(victim)
+	f.net.FailNode(victim)
+	if err := s.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Failed(victim) {
+		t.Fatal("victim not reported failed")
+	}
+	if v := reg.Value("node_repairs_inflight"); v != 1 {
+		t.Fatalf("node_repairs_inflight = %v right after the crash, want 1", v)
+	}
+	got, comp, err := s.QueryWithReport(f.alive(victim+1), fullQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Complete() || len(got) != len(f.events)+1 {
+		t.Fatalf("post-repair: %d results, %d/%d cells", len(got), comp.CellsReached, comp.CellsTotal)
+	}
+	msgs, bytes := f.engine.RepairTraffic()
+	if msgs == 0 || bytes == 0 {
+		t.Fatalf("repair traffic (%d msgs, %d bytes) not accounted", msgs, bytes)
+	}
+	s.RecoverNode(victim)
+	if s.Failed(victim) {
+		t.Fatal("victim still failed after recovery")
+	}
+}
+
+// TestQueryAgainstUndetectedCorpses is the degraded-service surface: a
+// set of nodes dies at the radio layer only — the engine has not been
+// told, exactly the window before beacon timeouts fire — and queries
+// must still terminate, serving what they can and reporting the rest
+// unreached, while QueryDegraded flags the window through the caller's
+// oracle.
+func TestQueryAgainstUndetectedCorpses(t *testing.T) {
+	f := newRepairFixture(t, 60, 600, 13)
+	down := map[int]bool{}
+	for i := 0; len(down) < 12; i++ {
+		v := (7*i + 1) % f.layout.N()
+		if down[v] {
+			continue
+		}
+		down[v] = true
+		f.net.FailNode(v)
+	}
+	sink := 0
+	for down[sink] {
+		sink++
+	}
+	if f.engine.QueryDegraded(fullQuery(), nil) {
+		t.Fatal("QueryDegraded true with no oracle and no engine-known faults")
+	}
+	if !f.engine.QueryDegraded(fullQuery(), func(id int) bool { return down[id] }) {
+		t.Fatal("QueryDegraded false although holders are (silently) dead")
+	}
+	results, comp := f.runQuery(t, sink, fullQuery())
+	if comp.Complete() {
+		t.Fatal("query reported complete service across a dozen corpses")
+	}
+	if comp.CellsReached == 0 || len(results) == 0 {
+		t.Fatal("nothing served: degraded service should be partial, not empty")
+	}
+	if len(comp.Unreached) != comp.CellsTotal-comp.CellsReached {
+		t.Fatalf("unreached list %d entries, counters say %d",
+			len(comp.Unreached), comp.CellsTotal-comp.CellsReached)
+	}
+	for _, err := range f.engine.Errors() {
+		t.Errorf("non-degradable error surfaced: %v", err)
+	}
+}

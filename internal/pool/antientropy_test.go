@@ -74,7 +74,7 @@ func TestMirrorDivergenceRepairedByReconciliation(t *testing.T) {
 		e := event.New(src.Float64(), src.Float64(), src.Float64())
 		e.Seq = uint64(10_000 + i)
 		if err := s.Insert(src.Intn(net.Layout().N()), e); err != nil {
-			if !dcs.Degradable(err) {
+			if !dcs.IsDegradable(err) {
 				t.Fatal(err)
 			}
 			failed++

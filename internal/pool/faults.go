@@ -6,6 +6,7 @@ import (
 
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/event"
+	"pooldcs/internal/field"
 	"pooldcs/internal/geo"
 	"pooldcs/internal/network"
 	"pooldcs/internal/trace"
@@ -198,10 +199,18 @@ func (s *System) RecoverNode(id int) {
 // nearestAliveTo returns the alive node closest to p, excluding one id,
 // or -1 when every node is dead.
 func (s *System) nearestAliveTo(p geo.Point, exclude int) int {
-	layout := s.net.Layout()
+	return NearestAlive(s.net.Layout(), s.dead, p, exclude)
+}
+
+// NearestAlive returns the alive node closest to p, excluding one id
+// (pass -1 to exclude nobody), or -1 when every node is dead. This is
+// the pure re-election and mirror-selection rule both the synchronous
+// system and the node actor engine apply, so a message-driven repair
+// converges on exactly the state the global-knowledge repair computes.
+func NearestAlive(layout *field.Layout, dead []bool, p geo.Point, exclude int) int {
 	best, bestD2 := -1, math.Inf(1)
 	for i := 0; i < layout.N(); i++ {
-		if i == exclude || s.dead[i] {
+		if i == exclude || dead[i] {
 			continue
 		}
 		if d2 := layout.Pos(i).Dist2(p); d2 < bestD2 {

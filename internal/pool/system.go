@@ -501,7 +501,7 @@ func (s *System) QueryWithReport(sink int, q event.Query) ([]event.Event, dcs.Co
 // degradable reports whether a unicast failure is one graceful
 // degradation absorbs; the shared predicate lives in dcs so pool, dim,
 // and ght stay in lockstep.
-func degradable(err error) bool { return dcs.Degradable(err) }
+func degradable(err error) bool { return dcs.IsDegradable(err) }
 
 // servedCell records one reached cell of a fan-out and how many matches
 // the splitter holds for it, so the final reply leg can demote served
@@ -511,9 +511,13 @@ type servedCell struct {
 	matches int
 }
 
-// cellLabel formats the human-readable id of one Pool cell for
-// completeness reports.
-func cellLabel(dim int, c CellID) string { return fmt.Sprintf("P%d %v", dim, c) }
+// CellLabel formats the human-readable id of one Pool cell for
+// completeness reports. Exported so the node actor engine labels
+// unreached cells identically to the synchronous spec.
+func CellLabel(dim int, c CellID) string { return fmt.Sprintf("P%d %v", dim, c) }
+
+// cellLabel is the package-internal shorthand for CellLabel.
+func cellLabel(dim int, c CellID) string { return CellLabel(dim, c) }
 
 // queryPool resolves the (rewritten) query against one Pool: the query is
 // forwarded through the Pool's splitter to every relevant cell, and the

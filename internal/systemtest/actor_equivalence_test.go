@@ -1,0 +1,131 @@
+package systemtest
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pooldcs/internal/event"
+)
+
+// TestConformanceActorEquivalence pins the actor engine to its
+// synchronous specification: for every fault scenario and several
+// seeds, the message-driven implementation ("node", "node+repair") and
+// the global-knowledge one ("pool", "pool+repl") are built over
+// identical substrates, put through the identical fault script, and
+// must answer every query of the sweep with the same result set and
+// the same completeness accounting — including after a crash repaired
+// by real multi-hop re-election and mirror-transfer exchanges.
+func TestConformanceActorEquivalence(t *testing.T) {
+	byName := map[string]Factory{}
+	for _, f := range Factories() {
+		byName[f.Name] = f
+	}
+	pairs := []struct{ actor, spec string }{
+		{"node", "pool"},
+		{"node+repair", "pool+repl"},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		for seed := int64(confSeed); seed < confSeed+3; seed++ {
+			seed := seed
+			for _, sc := range scenarios() {
+				sc := sc
+				name := fmt.Sprintf("%s-vs-%s/seed%d/%s", pr.actor, pr.spec, seed, sc.name)
+				t.Run(name, func(t *testing.T) {
+					actor, err := BuildUniverse(byName[pr.actor], confNodes, confEvents, confDims, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spec, err := BuildUniverse(byName[pr.spec], confNodes, confEvents, confDims, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Same seed, same placement algorithm: both universes must
+					// aim the scenario's crash at the same victim.
+					if av, sv := actor.MostLoaded(), spec.MostLoaded(); av != sv {
+						t.Fatalf("storage diverges before any fault: actor crashes %d, spec %d", av, sv)
+					}
+					sc.apply(t, actor)
+					sc.apply(t, spec)
+					if t.Failed() {
+						return
+					}
+					sink := actor.PickAlive()
+					if sink != spec.PickAlive() {
+						t.Fatalf("sink diverges: actor %d, spec %d", sink, spec.PickAlive())
+					}
+					if len(actor.Events) != len(spec.Events) {
+						t.Fatalf("oracle diverges: %d vs %d events", len(actor.Events), len(spec.Events))
+					}
+					for i, e := range actor.Events {
+						q := PointQueryFor(e)
+						aGot, aComp, aErr := actor.Sys.QueryWithReport(sink, q)
+						sGot, sComp, sErr := spec.Sys.QueryWithReport(sink, q)
+						if aErr != nil || sErr != nil {
+							t.Fatalf("query %d: actor err %v, spec err %v", i, aErr, sErr)
+						}
+						if a, s := seqSet(aGot), seqSet(sGot); !equalSeqs(a, s) {
+							t.Errorf("query %d (event %d): result sets diverge\nactor: %v\nspec:  %v",
+								i, e.Seq, a, s)
+						}
+						if aComp.CellsTotal != sComp.CellsTotal || aComp.CellsReached != sComp.CellsReached {
+							t.Errorf("query %d: completeness diverges: actor %d/%d, spec %d/%d",
+								i, aComp.CellsReached, aComp.CellsTotal, sComp.CellsReached, sComp.CellsTotal)
+						}
+						if aComp.Retries != sComp.Retries {
+							t.Errorf("query %d: retry spend diverges: actor %d, spec %d",
+								i, aComp.Retries, sComp.Retries)
+						}
+						au, su := sortedCopy(aComp.Unreached), sortedCopy(sComp.Unreached)
+						if !equalStrings(au, su) {
+							t.Errorf("query %d: unreached cells diverge\nactor: %v\nspec:  %v", i, au, su)
+						}
+						if t.Failed() {
+							return
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func seqSet(events []event.Event) []uint64 {
+	out := make([]uint64, 0, len(events))
+	for _, e := range events {
+		out = append(out, e.Seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSeqs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

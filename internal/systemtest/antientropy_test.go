@@ -63,7 +63,7 @@ func TestConformanceAntiEntropyEventualEquality(t *testing.T) {
 					continue
 				}
 				if err := u.Insert(origin, eventAt(confDims, 10_000+i)); err != nil {
-					if !dcs.Degradable(err) {
+					if !dcs.IsDegradable(err) {
 						t.Fatalf("insert %d: non-degradable error: %v", i, err)
 					}
 				}

@@ -103,7 +103,8 @@ func scenarios() []scenario {
 			expect: everySystem(
 				expect{minRecall: 0.5, complete: true},
 				map[string]expect{
-					"pool+repl": {fullRecall: true, complete: true},
+					"pool+repl":   {fullRecall: true, complete: true},
+					"node+repair": {fullRecall: true, complete: true},
 				}),
 		},
 		{
@@ -121,7 +122,8 @@ func scenarios() []scenario {
 			expect: everySystem(
 				expect{minRecall: 0.5, incomplete: true, retries: true},
 				map[string]expect{
-					"pool+repl": {fullRecall: true, complete: true, retries: true},
+					"pool+repl":   {fullRecall: true, complete: true, retries: true},
+					"node+repair": {fullRecall: true, complete: true, retries: true},
 				}),
 		},
 		{
@@ -201,7 +203,8 @@ func scenarios() []scenario {
 			expect: everySystem(
 				expect{minRecall: 0.5, complete: true},
 				map[string]expect{
-					"pool+repl": {fullRecall: true, complete: true},
+					"pool+repl":   {fullRecall: true, complete: true},
+					"node+repair": {fullRecall: true, complete: true},
 				}),
 		},
 	}

@@ -24,6 +24,7 @@ import (
 	"pooldcs/internal/ght"
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
+	"pooldcs/internal/node"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
@@ -57,29 +58,49 @@ type Universe struct {
 	Events []event.Event
 }
 
-// Factory names one system flavour and builds it over a substrate.
+// Factory names one system flavour and builds it over a substrate. The
+// scheduler is the deployment's event kernel: the synchronous systems
+// ignore it, the actor-engine flavours run their exchanges on it.
 type Factory struct {
 	Name string
-	New  func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error)
+	New  func(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source) (SUT, error)
 }
 
 // Factories returns every system flavour the conformance suite covers.
+// "node" and "node+repair" are the actor-engine implementations of
+// "pool" and "pool+repl": the same protocol executed as real
+// message exchanges (including message-driven fault repair), drained to
+// completion behind the synchronous SUT surface by node.Sync.
 func Factories() []Factory {
 	return []Factory{
-		{"pool", func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error) {
+		{"pool", func(net *network.Network, router *gpsr.Router, _ *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
 			return pool.New(net, router, dims, src)
 		}},
-		{"pool+repl", func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error) {
+		{"pool+repl", func(net *network.Network, router *gpsr.Router, _ *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
 			return pool.New(net, router, dims, src, pool.WithReplication())
 		}},
-		{"dim", func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error) {
+		{"dim", func(net *network.Network, router *gpsr.Router, _ *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
 			return dim.New(net, router, dims)
 		}},
-		{"ght", func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error) {
+		{"ght", func(net *network.Network, router *gpsr.Router, _ *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
 			return ght.New(net, router), nil
 		}},
-		{"ght+sr", func(net *network.Network, router *gpsr.Router, dims int, src *rng.Source) (SUT, error) {
+		{"ght+sr", func(net *network.Network, router *gpsr.Router, _ *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
 			return ght.New(net, router, ght.WithStructuredReplication(1)), nil
+		}},
+		{"node", func(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
+			eng, err := node.NewEngine(net, router, sched, dims, src, nil)
+			if err != nil {
+				return nil, err
+			}
+			return node.NewSync("node", eng, sched), nil
+		}},
+		{"node+repair", func(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, dims int, src *rng.Source) (SUT, error) {
+			eng, err := node.NewEngine(net, router, sched, dims, src, nil, node.WithReplication())
+			if err != nil {
+				return nil, err
+			}
+			return node.NewSync("node+repair", eng, sched), nil
 		}},
 	}
 }
@@ -96,7 +117,7 @@ func BuildUniverse(f Factory, n, nEvents, dims int, seed int64) (*Universe, erro
 	sched := sim.NewScheduler()
 	net := network.New(layout)
 	router := gpsr.New(layout)
-	sys, err := f.New(net, router, dims, src.Fork("system"))
+	sys, err := f.New(net, router, sched, dims, src.Fork("system"))
 	if err != nil {
 		return nil, err
 	}
