@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node smoke-bench micro-bench loadtest check bench bench-compare golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib smoke-bench micro-bench loadtest check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/metrics -run=NONE -fuzz=FuzzExpositionWrite -fuzztime=10s
 	$(GO) test ./internal/antientropy -run=NONE -fuzz=FuzzReconcileDecode -fuzztime=10s
 	$(GO) test ./internal/node -run=NONE -fuzz=FuzzRepairPackets -fuzztime=10s
+	$(GO) test ./internal/attrib -run=NONE -fuzz=FuzzAutopsy -fuzztime=10s
 
 # Race-enabled sweep of the chaos seeds (fault injection, churn
 # experiment, pool/dim repair paths).
@@ -86,15 +87,37 @@ cover-node:
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
 		{ echo "internal/node coverage $$total% below the 80% gate"; exit 1; }
 
+# The flight recorder's tolerant analyzer is what every autopsy rests
+# on — it must handle evicted, unclosed, and malformed spans without
+# erroring; hold its package coverage at or above 80%.
+cover-trace:
+	$(GO) test -coverprofile=/tmp/trace.cover ./internal/trace
+	@total=$$($(GO) tool cover -func=/tmp/trace.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/trace coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/trace coverage $$total% below the 80% gate"; exit 1; }
+
+# The critical-path analyzer's sum-to-total invariant is the autopsy's
+# correctness claim; hold its package coverage at or above 80%.
+cover-attrib:
+	$(GO) test -coverprofile=/tmp/attrib.cover ./internal/attrib
+	@total=$$($(GO) tool cover -func=/tmp/attrib.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/attrib coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/attrib coverage $$total% below the 80% gate"; exit 1; }
+
 # Quick benchmark smoke: the disabled-registry hot path must stay
-# allocation-free, the exposition writer must run, and the two headline
-# simulation benchmarks must hold their allocs/op within 10% of the
-# checked-in bench_baseline.json. Keeps `make check` honest without the
-# full bench sweep.
+# allocation-free (same for the disabled-tracer autopsy path), the
+# exposition writer must run, and the headline simulation benchmarks
+# must hold their allocs/op within 10% of the checked-in
+# bench_baseline.json. Keeps `make check` honest without the full bench
+# sweep.
 smoke-bench:
 	$(GO) test ./internal/metrics -run=NONE -bench='DisabledHotPath|EnabledHotPath|SnapshotWrite' -benchmem -benchtime=100x
 	$(GO) test . -run=NONE -bench='^BenchmarkFig6a$$|^BenchmarkPoolQuery$$' -benchmem -benchtime=1x 2>&1 \
 		| tee /tmp/smoke-bench.out
+	$(GO) test ./internal/attrib -run=NONE -bench='^BenchmarkAttribDisabledPath$$' -benchmem -benchtime=100x 2>&1 \
+		| tee -a /tmp/smoke-bench.out
 	$(GO) run ./cmd/benchjson -gate bench_baseline.json -tolerance 10 < /tmp/smoke-bench.out
 
 # Micro-benchmark time gate. The archived -benchtime=1x diffs once
@@ -116,7 +139,7 @@ micro-bench:
 loadtest:
 	$(GO) test -count=1 ./cmd/poolload ./internal/load
 
-check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node smoke-bench micro-bench loadtest
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib smoke-bench micro-bench loadtest
 
 # Full benchmark sweep, archived as machine-readable JSON
 # (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing, with

@@ -24,6 +24,9 @@
 //	-queries N    range queries spread over the horizon (default 40)
 //	-churn PCT    percent of nodes crashed across the horizon (default 0)
 //	-repair       mirror every cell and run background anti-entropy repair
+//	-autopsy      attach the flight recorder to the actor engine and export
+//	              the attrib_* phase-attribution and slo_burn_* families
+//	-slo D        query p99 SLO for the burn-rate accounting (default 500ms)
 //	-horizon D    virtual run time (default 30s)
 //	-tick D       sampling period (default 1s)
 //	-top K        rows in the hotspot tables (default 5)
@@ -35,10 +38,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
 	"pooldcs/internal/antientropy"
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/chaos"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/discovery"
@@ -51,6 +56,7 @@ import (
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/texttable"
+	"pooldcs/internal/trace"
 	"pooldcs/internal/workload"
 )
 
@@ -70,6 +76,8 @@ func run(args []string, out io.Writer) error {
 	queries := fs.Int("queries", 40, "range queries spread over the horizon")
 	churn := fs.Int("churn", 0, "percent of nodes crashed across the horizon")
 	repair := fs.Bool("repair", false, "mirror every cell and run background anti-entropy repair")
+	autopsy := fs.Bool("autopsy", false, "attach the flight recorder and export attrib_*/slo_burn_* families")
+	slo := fs.Duration("slo", 500*time.Millisecond, "query p99 SLO for the burn-rate accounting")
 	horizon := fs.Duration("horizon", 30*time.Second, "virtual run time")
 	tick := fs.Duration("tick", time.Second, "sampling period")
 	top := fs.Int("top", 5, "rows in the hotspot tables")
@@ -115,6 +123,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	actors.EnableMetrics(reg)
+	// The flight recorder only ever hangs off the actor engine: it is the
+	// layer with real virtual-time exchanges, so its query spans carry the
+	// durations the attribution decomposes. Without -autopsy no tracer is
+	// attached and the exposition stays byte-identical.
+	var flight *trace.Tracer
+	if *autopsy {
+		flight = trace.NewRing(sched, autopsyRing)
+		actors.SetTracer(flight)
+	}
 	disc := discovery.New(net, sched, src.Fork("beacons"), discovery.Config{})
 	disc.EnableMetrics(reg)
 	// With -repair, rejoining nodes kick an immediate reconciliation
@@ -207,6 +224,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *autopsy {
+		registerAutopsy(reg, flight, *slo, *tick)
+	}
 
 	switch *format {
 	case "prom":
@@ -219,6 +239,99 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// autopsyRing is the flight-recorder capacity: large enough that a
+// default poolmon horizon never evicts, bounded so a pathological run
+// cannot grow without limit.
+const autopsyRing = 1 << 18
+
+// registerAutopsy attributes the recorded query spans and registers the
+// attrib_* and slo_burn_* families. The burn rates follow the load
+// engine's accounting: the run is cut into sampling-period windows, a
+// window breaches when its query p99 exceeds the SLO, and the breached
+// fraction (over the last six windows for fast, the whole run for slow)
+// is divided by a 5% error budget.
+func registerAutopsy(reg *metrics.Registry, flight *trace.Tracer, slo, window time.Duration) {
+	events := flight.Events()
+	a, _ := trace.Analyze(events)
+	bds := attrib.Attribute(events, a, attrib.Options{})
+
+	phases := make([]string, 0, int(attrib.NumPhases))
+	for _, p := range attrib.Phases() {
+		phases = append(phases, p.String())
+	}
+	phaseMs := reg.CounterVec("attrib_phase_ms_total",
+		"latency mass attributed to each phase across traced queries (ms)", "phase", phases)
+	for _, bd := range bds {
+		for p, d := range bd.Phases {
+			phaseMs.Add(p, uint64(d/time.Millisecond))
+		}
+	}
+	reg.Counter("attrib_queries_total", "query spans decomposed by the autopsy").Add(uint64(len(bds)))
+	if flight.Dropped() > 0 {
+		reg.Counter("attrib_trace_dropped_total", "flight-recorder events evicted before analysis").Add(flight.Dropped())
+	}
+
+	fast, slow := burnRates(bds, slo, window)
+	reg.GaugeFunc("slo_burn_fast",
+		"breached-window fraction over the last 6 windows divided by the error budget",
+		func() float64 { return fast })
+	reg.GaugeFunc("slo_burn_slow",
+		"breached-window fraction over the whole run divided by the error budget",
+		func() float64 { return slow })
+}
+
+// burnRates buckets query completions into windows and returns the
+// fast (last six windows) and slow (whole run) burn rates against a 5%
+// error budget.
+func burnRates(bds []attrib.Breakdown, slo, window time.Duration) (fast, slow float64) {
+	const (
+		budget      = 0.05
+		fastWindows = 6
+	)
+	if len(bds) == 0 || window <= 0 {
+		return 0, 0
+	}
+	byWindow := map[int64][]int64{}
+	var last int64
+	for _, bd := range bds {
+		w := int64(bd.End / window)
+		byWindow[w] = append(byWindow[w], int64(bd.Total/time.Millisecond))
+		if w > last {
+			last = w
+		}
+	}
+	breached := func(lats []int64) bool {
+		if len(lats) == 0 {
+			return false
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rank := (99*len(lats) + 99) / 100
+		if rank < 1 {
+			rank = 1
+		}
+		return lats[rank-1] > int64(slo/time.Millisecond)
+	}
+	var total, bad, fastTotal, fastBad int
+	for w := int64(0); w <= last; w++ {
+		total++
+		b := breached(byWindow[w])
+		if b {
+			bad++
+		}
+		if w > last-fastWindows {
+			fastTotal++
+			if b {
+				fastBad++
+			}
+		}
+	}
+	slow = float64(bad) / float64(total) / budget
+	if fastTotal > 0 {
+		fast = float64(fastBad) / float64(fastTotal) / budget
+	}
+	return fast, slow
 }
 
 // renderText prints the human-readable report: family values, balance

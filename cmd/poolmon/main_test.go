@@ -47,6 +47,50 @@ func TestGolden(t *testing.T) {
 	golden(t, "quiet", []string{"-n", "300", "-queries", "20"})
 	golden(t, "churn", []string{"-n", "300", "-queries", "20", "-churn", "10"})
 	golden(t, "repair", []string{"-n", "300", "-queries", "20", "-churn", "10", "-repair"})
+	golden(t, "autopsy", []string{"-n", "300", "-queries", "20", "-churn", "10", "-autopsy", "-slo", "60ms"})
+}
+
+// TestAutopsyFamilies checks that -autopsy surfaces the attribution and
+// burn-rate families in every export format, and that without the flag
+// none of them appear — the exposition contract that keeps existing
+// dashboards byte-identical.
+func TestAutopsyFamilies(t *testing.T) {
+	var prom strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "10", "-autopsy", "-slo", "60ms", "-format", "prom"}, &prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE attrib_phase_ms_total counter",
+		`attrib_phase_ms_total{phase="transmit"}`,
+		`attrib_phase_ms_total{phase="repair"}`,
+		"# TYPE attrib_queries_total counter",
+		"# TYPE slo_burn_fast gauge",
+		"# TYPE slo_burn_slow gauge",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+
+	var plain strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "10", "-format", "prom"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"attrib_", "slo_burn_"} {
+		if strings.Contains(plain.String(), family) {
+			t.Errorf("default run leaks %s* families into the exposition", family)
+		}
+	}
+
+	var text strings.Builder
+	if err := run([]string{"-n", "300", "-queries", "10", "-autopsy"}, &text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attrib_queries_total", "slo_burn_slow"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
 }
 
 // TestRepairFamilies checks that -repair surfaces the anti-entropy

@@ -71,6 +71,22 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-nosuchflag"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"-trace-ring", "-1", "saturation"}, &out); err == nil {
+		t.Error("negative trace ring accepted")
+	}
+}
+
+// TestRunTraceRing: a tiny flight recorder must still produce a valid
+// saturation table — eviction degrades the attribution columns, never
+// the run.
+func TestRunTraceRing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-trace-ring", "512", "saturation"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "queue%") {
+		t.Errorf("saturation table missing attribution columns:\n%s", out.String())
+	}
 }
 
 func TestAllCoversEveryExperiment(t *testing.T) {

@@ -4,28 +4,40 @@
 //
 //	pooltrace record [flags] -o trace.jsonl
 //	pooltrace analyze [flags] trace.jsonl
+//	pooltrace autopsy [flags] trace.jsonl
 //
 // record replays a seeded insert+query workload (the poolsim simulation
 // model) with tracing enabled and writes the trace as JSONL, one event
 // per line. analyze loads a trace and reports per-query span trees,
 // hop-count percentiles per operation, per-node load ranking, and the
 // traffic breakdown by kind — which matches network.Counters exactly.
+// autopsy decomposes each query's wall clock into named phases
+// (transmit, arq, queue, service, retry, repair, merge, other), prints
+// the blame table — which phase owns the latency mass at p50/p95/p99 —
+// and details the worst offenders. The node system records on the actor
+// engine's virtual clock, so its traces carry the real durations the
+// autopsy needs; pool and dim replay synchronously and decompose to
+// zeros.
 //
 // record flags:
 //
-//	-system S   pool | dim (default pool)
+//	-system S   pool | dim | node (default pool)
 //	-seed N     random seed (default 42)
 //	-nodes N    deployment size (default 300)
 //	-events N   events per node (default 3)
 //	-queries N  queries (default 40)
 //	-subs N     standing queries, Pool only (default 0)
-//	-fail N     node failures before the queries, Pool only (default 0)
+//	-fail N     node failures before the queries, pool and node (default 0)
 //	-o PATH     output path, "-" for stdout (default "-")
 //
 // analyze flags:
 //
 //	-spans N    query span trees to print (default 3)
 //	-top N      nodes in the load ranking (default 10)
+//
+// autopsy flags:
+//
+//	-worst N    slowest queries to detail (default 3)
 package main
 
 import (
@@ -33,7 +45,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/experiment"
 	"pooldcs/internal/texttable"
 	"pooldcs/internal/trace"
@@ -48,15 +62,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("no command given; choose record or analyze")
+		return fmt.Errorf("no command given; choose record, analyze, or autopsy")
 	}
 	switch args[0] {
 	case "record":
 		return record(args[1:], out)
 	case "analyze":
 		return analyze(args[1:], out)
+	case "autopsy":
+		return autopsy(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q; choose record or analyze", args[0])
+		return fmt.Errorf("unknown command %q; choose record, analyze, or autopsy", args[0])
 	}
 }
 
@@ -64,13 +80,13 @@ func run(args []string, out io.Writer) error {
 func record(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pooltrace record", flag.ContinueOnError)
 	o := experiment.DefaultTraceOptions()
-	fs.StringVar(&o.System, "system", o.System, "traced system: pool or dim")
+	fs.StringVar(&o.System, "system", o.System, "traced system: pool, dim, or node")
 	fs.Int64Var(&o.Seed, "seed", o.Seed, "random seed")
 	fs.IntVar(&o.Nodes, "nodes", o.Nodes, "deployment size")
 	fs.IntVar(&o.EventsPerNode, "events", o.EventsPerNode, "events per node")
 	fs.IntVar(&o.Queries, "queries", o.Queries, "number of queries")
 	fs.IntVar(&o.Subscriptions, "subs", 0, "standing queries (Pool only)")
-	fs.IntVar(&o.Failures, "fail", 0, "node failures before the queries (Pool only)")
+	fs.IntVar(&o.Failures, "fail", 0, "node failures before the queries (pool and node)")
 	path := fs.String("o", "-", `output path ("-" for stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +143,86 @@ func analyze(args []string, out io.Writer) error {
 		return err
 	}
 	return report(out, a, *spans, *top)
+}
+
+// autopsy loads a JSONL trace, attributes every query span's wall
+// clock to phases, and prints the blame table plus the worst offenders.
+func autopsy(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pooltrace autopsy", flag.ContinueOnError)
+	worst := fs.Int("worst", 3, "slowest queries to detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("autopsy takes exactly one trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	a, err := trace.Analyze(events)
+	if err != nil {
+		return err
+	}
+	return autopsyReport(out, events, a, *worst)
+}
+
+// autopsyReport renders the attribution: header, blame table, and the
+// per-phase decomposition of the slowest queries.
+func autopsyReport(out io.Writer, events []trace.Event, a *trace.Analysis, worst int) error {
+	bds := attrib.Attribute(events, a, attrib.Options{})
+	repairs := attrib.RepairWindows(events, a.Horizon)
+	fmt.Fprintf(out, "autopsy: %d queries attributed, %d repair windows, horizon %v",
+		len(bds), len(repairs), a.Horizon)
+	if a.Truncated {
+		fmt.Fprint(out, " (trace truncated: flight recorder evicted events)")
+	}
+	fmt.Fprint(out, "\n\n")
+	if len(bds) == 0 {
+		fmt.Fprintln(out, "no query spans in trace")
+		return nil
+	}
+
+	fmt.Fprintln(out, attrib.Blame(bds).String())
+
+	sorted := make([]attrib.Breakdown, len(bds))
+	copy(sorted, bds)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Total != sorted[j].Total {
+			return sorted[i].Total > sorted[j].Total
+		}
+		return sorted[i].Span < sorted[j].Span
+	})
+	if worst > len(sorted) {
+		worst = len(sorted)
+	}
+	if worst <= 0 {
+		return nil
+	}
+	fmt.Fprintf(out, "worst %d queries:\n", worst)
+	for i := 0; i < worst; i++ {
+		bd := &sorted[i]
+		fmt.Fprintf(out, "  span %d %s node=%d %q: total %v [%v, %v]\n",
+			bd.Span, bd.Op, bd.Node, bd.Detail, bd.Total, bd.Start, bd.End)
+		for _, p := range attrib.Phases() {
+			d := bd.Phases[p]
+			if d == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "    %-9s %12v %5.1f%%\n", p, d, 100*float64(d)/float64(bd.Total))
+		}
+		if s := a.ByID[bd.Span]; s != nil {
+			if err := s.WriteTree(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // report renders the analysis: traffic by kind, per-operation hop

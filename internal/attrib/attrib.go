@@ -1,0 +1,363 @@
+// Package attrib decomposes per-query wall-clock latency into named
+// phases — the query autopsy. It walks the causal span tree that
+// trace.Analyze reconstructs and classifies every interval of a query's
+// lifetime by what the critical path was doing: radio transmission,
+// ARQ-retransmission stall, service/station queueing, service execution,
+// recovery detours (alternate splitters, mirror failovers, reply
+// re-sends), repair interference, and reply merging. The decomposition
+// is exact by construction: the phase durations of one query sum to its
+// span's wall-clock extent, no interval double-counted or lost.
+//
+// Repair interference is a reclassification, not an independently
+// measured phase: stall time (ARQ, queueing, retry detours) that falls
+// inside a repair window — from a node's crash marker to the first
+// repair-done or recovery marker for that node — is blamed on repair,
+// because the stall only exists while the fault is being absorbed.
+package attrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pooldcs/internal/trace"
+)
+
+// Phase names one latency component of a query's lifetime.
+type Phase int
+
+// Phases, in report order.
+const (
+	// PhaseTransmit is time spent with a frame successfully in flight.
+	PhaseTransmit Phase = iota
+	// PhaseARQ is stall time after a lost frame, waiting out the
+	// retransmission.
+	PhaseARQ
+	// PhaseQueue is time between entering a service/station queue and
+	// service start.
+	PhaseQueue
+	// PhaseService is time actually being served.
+	PhaseService
+	// PhaseRetry is time inside a recovery detour (OpRetry subtree):
+	// alternate-splitter re-plans, mirror failovers, reply re-sends.
+	PhaseRetry
+	// PhaseRepair is stall time reclassified as repair interference: ARQ,
+	// queue, or retry stalls overlapping an open repair window.
+	PhaseRepair
+	// PhaseMerge is time between the reply aggregation record and span
+	// close.
+	PhaseMerge
+	// PhaseOther is everything unclassified (instantaneous bookkeeping,
+	// time before the first event).
+	PhaseOther
+
+	// NumPhases is the number of named phases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"transmit", "arq", "queue", "service", "retry", "repair", "merge", "other",
+}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p >= 0 && p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Phases lists all phases in report order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Breakdown is one query's latency decomposition.
+type Breakdown struct {
+	// Span identifies the root span.
+	Span uint64
+	// Op, Node, Detail mirror the root span's identity.
+	Op     trace.Op
+	Node   int
+	Detail string
+	// Start and End bound the span.
+	Start, End time.Duration
+	// Phases holds the per-phase durations; they sum to Total exactly.
+	Phases [NumPhases]time.Duration
+	// Total is the span's wall-clock extent (End - Start).
+	Total time.Duration
+}
+
+// Share returns phase p's fraction of the total (0 for zero-duration
+// spans).
+func (b *Breakdown) Share(p Phase) float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return float64(b.Phases[p]) / float64(b.Total)
+}
+
+// String renders the breakdown as one line, listing non-zero phases.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s#%d node=%d total=%v", b.Op, b.Span, b.Node, b.Total)
+	for p := Phase(0); p < NumPhases; p++ {
+		if b.Phases[p] > 0 {
+			fmt.Fprintf(&sb, " %s=%v", p, b.Phases[p])
+		}
+	}
+	return sb.String()
+}
+
+// Window is one repair-interference window: the node's crash until the
+// first repair-done or recovery marker for it (or the horizon if the
+// trace ends first).
+type Window struct {
+	Node       int
+	Start, End time.Duration
+}
+
+// RepairWindows extracts the repair-interference windows from a raw
+// event stream. horizon closes windows still open at the end of the
+// trace.
+func RepairWindows(events []trace.Event, horizon time.Duration) []Window {
+	open := map[int]int{} // node -> index into out
+	var out []Window
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Type == trace.TypeFault && ev.Detail == "crash":
+			if _, dup := open[ev.Node]; dup {
+				continue // crash of an already-crashed node
+			}
+			open[ev.Node] = len(out)
+			out = append(out, Window{Node: ev.Node, Start: ev.T, End: -1})
+		case ev.Type == trace.TypeRepair && ev.Detail == "done",
+			ev.Type == trace.TypeFault && ev.Detail == "recover":
+			if j, ok := open[ev.Node]; ok {
+				out[j].End = ev.T
+				delete(open, ev.Node)
+			}
+		}
+	}
+	for _, j := range open {
+		out[j].End = horizon
+	}
+	return out
+}
+
+// mergeWindows flattens windows into a sorted, disjoint union.
+func mergeWindows(ws []Window) []Window {
+	if len(ws) == 0 {
+		return nil
+	}
+	sorted := append([]Window(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := sorted[:1]
+	for _, w := range sorted[1:] {
+		last := &out[len(out)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// overlap returns the portion of [t0, t1) covered by the disjoint sorted
+// union.
+func overlap(union []Window, t0, t1 time.Duration) time.Duration {
+	var covered time.Duration
+	for _, w := range union {
+		if w.End <= t0 {
+			continue
+		}
+		if w.Start >= t1 {
+			break
+		}
+		lo, hi := t0, t1
+		if w.Start > lo {
+			lo = w.Start
+		}
+		if w.End < hi {
+			hi = w.End
+		}
+		if hi > lo {
+			covered += hi - lo
+		}
+	}
+	return covered
+}
+
+// Options tunes Attribute.
+type Options struct {
+	// Ops selects the root operations to decompose; default: queries
+	// only.
+	Ops []trace.Op
+}
+
+// interval is one classified slice of a query's lifetime.
+type interval struct {
+	phase  Phase
+	t0, t1 time.Duration
+}
+
+// Attribute decomposes every selected root span of the trace into a
+// Breakdown. events is the raw stream the Analysis was built from;
+// passing the pair keeps hop-level evidence (which Analysis aggregates
+// away) available without re-analyzing. Breakdowns come back in root
+// start order. Works on truncated analyses: evicted evidence simply
+// leaves more time in the "other" phase.
+func Attribute(events []trace.Event, a *trace.Analysis, opts Options) []Breakdown {
+	ops := opts.Ops
+	if len(ops) == 0 {
+		ops = []trace.Op{trace.OpQuery}
+	}
+	opset := map[trace.Op]bool{}
+	for _, op := range ops {
+		opset[op] = true
+	}
+
+	// Resolve each span to its root and whether it sits inside an
+	// OpRetry detour, memoized over the span tree.
+	roots := map[uint64]uint64{}
+	inRetry := map[uint64]bool{}
+	var resolve func(id uint64) (uint64, bool)
+	resolve = func(id uint64) (uint64, bool) {
+		if r, ok := roots[id]; ok {
+			return r, inRetry[id]
+		}
+		s := a.ByID[id]
+		if s == nil {
+			roots[id] = 0
+			return 0, false
+		}
+		// Provisional self-root entry breaks parent cycles in corrupt
+		// streams (a span claiming itself as ancestor).
+		roots[id] = id
+		retry := s.Op == trace.OpRetry
+		root := id
+		if s.Parent != 0 && s.Parent != id && a.ByID[s.Parent] != nil {
+			pr, pRetry := resolve(s.Parent)
+			root = pr
+			retry = retry || pRetry
+		}
+		roots[id] = root
+		inRetry[id] = retry
+		return root, retry
+	}
+
+	// Bucket event indices per selected root, preserving stream order.
+	buckets := map[uint64][]int{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Span == 0 {
+			continue
+		}
+		root, _ := resolve(ev.Span)
+		if root == 0 {
+			continue
+		}
+		if rs := a.ByID[root]; rs == nil || !opset[rs.Op] {
+			continue
+		}
+		buckets[root] = append(buckets[root], i)
+	}
+
+	union := mergeWindows(RepairWindows(events, a.Horizon))
+
+	var out []Breakdown
+	for _, rs := range a.Roots {
+		if !opset[rs.Op] {
+			continue
+		}
+		b := Breakdown{
+			Span: rs.ID, Op: rs.Op, Node: rs.Node, Detail: rs.Detail,
+			Start: rs.Start, End: rs.End, Total: rs.End - rs.Start,
+		}
+		if b.Total < 0 {
+			b.Total = 0
+			b.End = b.Start
+		}
+		idx := buckets[rs.ID]
+		// RecordAt stamps events out of append order; restore the
+		// timeline. Stable so simultaneous events keep causal order.
+		sort.SliceStable(idx, func(x, y int) bool { return events[idx[x]].T < events[idx[y]].T })
+
+		intervals := sweep(events, idx, &b, inRetry)
+		for _, iv := range intervals {
+			d := iv.t1 - iv.t0
+			phase := iv.phase
+			if phase == PhaseARQ || phase == PhaseQueue || phase == PhaseRetry {
+				if rep := overlap(union, iv.t0, iv.t1); rep > 0 {
+					b.Phases[PhaseRepair] += rep
+					d -= rep
+				}
+			}
+			b.Phases[phase] += d
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// sweep classifies the query's lifetime chronologically: each event
+// closes the interval since the previous one under the current phase,
+// then selects the phase the query enters.
+func sweep(events []trace.Event, idx []int, b *Breakdown, inRetry map[uint64]bool) []interval {
+	var out []interval
+	cur := PhaseOther
+	last := b.Start
+	emit := func(t time.Duration) {
+		// Clamp to the span: RecordAt evidence can stamp slightly
+		// outside a truncated span's reconstructed bounds.
+		if t < b.Start {
+			t = b.Start
+		}
+		if t > b.End {
+			t = b.End
+		}
+		if t > last {
+			out = append(out, interval{cur, last, t})
+			last = t
+		}
+	}
+	for _, i := range idx {
+		ev := &events[i]
+		emit(ev.T)
+		switch ev.Type {
+		case trace.TypeHop, trace.TypeBroadcast:
+			switch {
+			case inRetry[ev.Span]:
+				cur = PhaseRetry
+			case ev.Lost:
+				cur = PhaseARQ
+			default:
+				cur = PhaseTransmit
+			}
+		case trace.TypeWait:
+			cur = PhaseQueue
+		case trace.TypeServe:
+			cur = PhaseService
+		case trace.TypeReply:
+			cur = PhaseMerge
+		case trace.TypeSpanStart:
+			if ev.Op == trace.OpRetry {
+				cur = PhaseRetry
+			}
+			// Other span starts are transparent bookkeeping.
+		}
+		// Everything else (place, fanout, resolve, span ends, faults) is
+		// transparent: it closes the interval but keeps the phase.
+	}
+	emit(b.End)
+	return out
+}

@@ -1,0 +1,28 @@
+package attrib
+
+import (
+	"testing"
+
+	"pooldcs/internal/trace"
+)
+
+// BenchmarkAttribDisabledPath measures the full per-send instrumentation
+// sequence the autopsy added to the actor-engine hot path, with tracing
+// disabled (nil tracer): span capture, push/pop bracketing, the explicit
+// retry span, and the wait/serve records. This must stay at the repo's
+// disabled-path standard — ~0 allocs, single-digit ns — and is gated in
+// make smoke-bench via bench_baseline.json.
+func BenchmarkAttribDisabledPath(b *testing.B) {
+	var tr *trace.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		span := tr.CurrentSpan()
+		tr.PushSpan(span)
+		tr.Hop(1, 2, "query", 16, 1, false)
+		tr.Record(trace.TypeWait, 2, 0, "")
+		tr.RecordAt(0, trace.TypeServe, 2, 0, "")
+		r := tr.BeginAt(span, trace.OpRetry, 2, "mirror")
+		tr.EndSpan(r)
+		tr.PopSpan()
+	}
+}

@@ -1,0 +1,104 @@
+package attrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Cohort aggregates the phase mass of the queries at or above one
+// latency percentile — "what ate the p99 budget", not just the p99
+// value.
+type Cohort struct {
+	// Pct is the percentile defining the cohort (50, 95, 99).
+	Pct int
+	// Floor is the latency at or above which a query joins the cohort.
+	Floor time.Duration
+	// Queries is the cohort size.
+	Queries int
+	// Phases holds the cohort's summed per-phase durations.
+	Phases [NumPhases]time.Duration
+	// Total is the cohort's summed wall-clock latency.
+	Total time.Duration
+}
+
+// Share returns phase p's fraction of the cohort's latency mass.
+func (c *Cohort) Share(p Phase) float64 {
+	if c.Total <= 0 {
+		return 0
+	}
+	return float64(c.Phases[p]) / float64(c.Total)
+}
+
+// BlameTable is the aggregate attribution: phase share of the latency
+// mass at each percentile cohort.
+type BlameTable struct {
+	// Queries is the number of breakdowns aggregated.
+	Queries int
+	// Cohorts holds one row per requested percentile, ascending.
+	Cohorts []Cohort
+}
+
+// Blame aggregates breakdowns into percentile cohorts. With no pcts the
+// standard 50/95/99 set is used.
+func Blame(bds []Breakdown, pcts ...int) BlameTable {
+	if len(pcts) == 0 {
+		pcts = []int{50, 95, 99}
+	}
+	sort.Ints(pcts)
+	bt := BlameTable{Queries: len(bds)}
+	if len(bds) == 0 {
+		return bt
+	}
+	totals := make([]time.Duration, len(bds))
+	for i := range bds {
+		totals[i] = bds[i].Total
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	for _, pct := range pcts {
+		// Nearest-rank floor: the smallest latency the top (100-pct)% of
+		// queries reach.
+		rank := (pct*len(totals) + 99) / 100
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(totals) {
+			rank = len(totals)
+		}
+		c := Cohort{Pct: pct, Floor: totals[rank-1]}
+		for i := range bds {
+			if bds[i].Total < c.Floor {
+				continue
+			}
+			c.Queries++
+			c.Total += bds[i].Total
+			for p := Phase(0); p < NumPhases; p++ {
+				c.Phases[p] += bds[i].Phases[p]
+			}
+		}
+		bt.Cohorts = append(bt.Cohorts, c)
+	}
+	return bt
+}
+
+// String renders the blame table: one row per cohort, phase shares in
+// percent of the cohort's latency mass.
+func (bt BlameTable) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-7s %8s %10s", "cohort", "queries", "floor ms")
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(&sb, " %9s", p.String()+"%")
+	}
+	sb.WriteByte('\n')
+	for i := range bt.Cohorts {
+		c := &bt.Cohorts[i]
+		fmt.Fprintf(&sb, "p%-6d %8d %10.1f", c.Pct, c.Queries,
+			float64(c.Floor)/float64(time.Millisecond))
+		for p := Phase(0); p < NumPhases; p++ {
+			fmt.Fprintf(&sb, " %9.1f", 100*c.Share(p))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pooldcs/internal/antientropy"
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/chaos"
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
@@ -22,6 +23,7 @@ import (
 	"pooldcs/internal/sim"
 	"pooldcs/internal/stats"
 	"pooldcs/internal/texttable"
+	"pooldcs/internal/trace"
 	"pooldcs/internal/workload"
 )
 
@@ -118,7 +120,8 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		"Detect p50 ms", "Detect p95 ms", "Drops",
 		"AE syms", "AE KB", "Snap KB", "Conv p95 ms",
 		"Node recall", "Node compl", "Quiet p95 ms", "Busy p95 ms",
-		"Rep p50 ms", "Rep p95 ms", "Rep ctrl KB")
+		"Rep p50 ms", "Rep p95 ms", "Rep ctrl KB",
+		"Xmit %", "ARQ %", "Queue %", "Retry %", "Repair %", "Other %")
 
 	// Each churn rate is a self-contained simulation — its own scheduler,
 	// layout, and four universes — so the rates fan out across workers.
@@ -213,6 +216,12 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Flight recorder: a bounded event ring over the actor universe's
+		// spans and hop records. The attribution columns decompose the
+		// probe latencies recorded here; the ring caps trace memory no
+		// matter the horizon.
+		flight := trace.NewRing(sched, cfg.traceRing())
+		nodeEng.SetTracer(flight)
 		universes := []*churnUniverse{plain, repl, dimU, ghtU}
 		all6 := []*churnUniverse{plain, repl, dimU, ghtU, snap, nodeU}
 
@@ -451,6 +460,14 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 			texttable.Int(int(rep.Quantile(50))),
 			texttable.Int(int(rep.Quantile(95))),
 			texttable.Float(float64(repBytes)/1024, 1))
+		// Latency attribution over the flight recorder: decompose every
+		// probe span surviving in the ring into phases and report each
+		// phase's share of the total latency mass. The shares sum to 100
+		// by construction (the sweep partitions each span's wall clock),
+		// and the repair share is nonzero exactly when crashes opened
+		// repair windows for probe stalls to land in — the named
+		// explanation of the busy/quiet p95 gap.
+		row = append(row, attributionShares(flight)...)
 		return row, nil
 	})
 	if err != nil {
@@ -460,6 +477,44 @@ func Churn(cfg Config, churnPcts []int) (*Result, error) {
 		table.AddRow(row...)
 	}
 	return &Result{ID: "ablation-churn", Title: title, Table: table}, nil
+}
+
+// attributionShares renders each phase's share (percent) of the total
+// latency mass of the query spans surviving in the flight recorder:
+// transmit, ARQ stall, queueing (wait plus service), retry detours,
+// repair interference, and the remainder (merge plus unexplained). The
+// six columns sum to 100 because the sweep partitions each span's wall
+// clock; all zeros when eviction left no spans.
+func attributionShares(tr *trace.Tracer) []string {
+	events := tr.Events()
+	a, _ := trace.Analyze(events)
+	bds := attrib.Attribute(events, a, attrib.Options{})
+	var mass [attrib.NumPhases]time.Duration
+	var total time.Duration
+	for _, bd := range bds {
+		for p, d := range bd.Phases {
+			mass[p] += d
+		}
+		total += bd.Total
+	}
+	pct := func(ps ...attrib.Phase) string {
+		if total == 0 {
+			return texttable.Float(0, 1)
+		}
+		var s time.Duration
+		for _, p := range ps {
+			s += mass[p]
+		}
+		return texttable.Float(float64(s)/float64(total)*100, 1)
+	}
+	return []string{
+		pct(attrib.PhaseTransmit),
+		pct(attrib.PhaseARQ),
+		pct(attrib.PhaseQueue, attrib.PhaseService),
+		pct(attrib.PhaseRetry),
+		pct(attrib.PhaseRepair),
+		pct(attrib.PhaseMerge, attrib.PhaseOther),
+	}
 }
 
 // pointQueryFor builds the exact-match query addressing one event's key.

@@ -212,6 +212,50 @@ func TestChurnDegradesGracefully(t *testing.T) {
 		}
 	}
 
+	// The attribution columns: six phase shares of the probe latency
+	// mass, summing to ~100 because the sweep partitions every span's
+	// wall clock (each share rounds to one decimal). Failure-driven
+	// phases appear exactly when churn ran — repair interference is the
+	// named explanation of the busy-p95 > quiet-p95 gap above.
+	const (
+		attrXmit   = 27
+		attrARQ    = 28
+		attrQueue  = 29
+		attrRetry  = 30
+		attrRepair = 31
+		attrOther  = 32
+	)
+	for row := range res.Table.Rows {
+		pct := int(cell(row, 0))
+		var sum float64
+		for col := attrXmit; col <= attrOther; col++ {
+			v := cell(row, col)
+			if v < 0 || v > 100 {
+				t.Errorf("pct %d: attribution col %d share %v outside [0,100]", pct, col, v)
+			}
+			sum += v
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("pct %d: attribution shares sum to %v, want ~100", pct, sum)
+		}
+		if v := cell(row, attrXmit); v <= 0 {
+			t.Errorf("pct %d: transmit share %v, want > 0", pct, v)
+		}
+		if pct == 0 {
+			// Nothing failed: no lost-frame stalls, no failover detours,
+			// no repair windows.
+			for _, col := range []int{attrARQ, attrRetry, attrRepair} {
+				if v := cell(row, col); v != 0 {
+					t.Errorf("no churn: failure-phase col %d share %v, want 0", col, v)
+				}
+			}
+		} else {
+			if v := cell(row, attrRepair); v <= 0 {
+				t.Errorf("pct %d: repair-interference share %v, want > 0 under churn", pct, v)
+			}
+		}
+	}
+
 	// Churn must actually hurt the designs without replication: DIM and
 	// GHT lose their single copies.
 	last := len(res.Table.Rows) - 1

@@ -57,6 +57,25 @@ type Config struct {
 	// message-driven mirror restoration — for the backend-aware
 	// experiments.
 	Repair bool
+	// TraceRing is the capacity of the flight-recorder event ring the
+	// attribution-instrumented experiments (churn, saturation) attach to
+	// their actor universe. Zero selects DefaultTraceRing. The ring
+	// bounds trace memory; eviction degrades the attribution columns
+	// gracefully rather than growing the heap with the horizon.
+	TraceRing int
+}
+
+// DefaultTraceRing bounds the per-universe flight recorder: large
+// enough to hold a full churn horizon's probe spans at the default
+// deployment sizes, small enough to stay a fixed cost.
+const DefaultTraceRing = 1 << 18
+
+// traceRing resolves the flight-recorder capacity.
+func (c Config) traceRing() int {
+	if c.TraceRing > 0 {
+		return c.TraceRing
+	}
+	return DefaultTraceRing
 }
 
 // Default returns the paper's §5.1 parameters.

@@ -3,10 +3,12 @@ package experiment
 import (
 	"time"
 
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/load"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/texttable"
+	"pooldcs/internal/trace"
 )
 
 // Saturation parameters: a deployment small enough that the sweep is
@@ -67,11 +69,17 @@ func Saturation(cfg Config, rates []float64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Flight recorder + autopsy: every served query's latency splits
+		// into queueing and service, the decomposition the trailing
+		// columns report.
+		flight := trace.NewRing(sched, cfg.traceRing())
+		eng.EnableAutopsy(flight)
 		rep, err := eng.Run()
 		if err != nil {
 			return nil, err
 		}
 		q := rep.QueryLatency()
+		qPct, svcPct := queueServiceShares(flight)
 		return []string{
 			pt.backend,
 			pt.policy.String(),
@@ -82,6 +90,8 @@ func Saturation(cfg Config, rates []float64) (*Result, error) {
 			texttable.Int(int(q.Quantile(99))),
 			texttable.Float(rep.SLOPct(), 0),
 			texttable.Int(rep.MaxDepth),
+			texttable.Float(qPct, 1),
+			texttable.Float(svcPct, 1),
 		}, nil
 	})
 	if err != nil {
@@ -89,9 +99,30 @@ func Saturation(cfg Config, rates []float64) (*Result, error) {
 	}
 
 	tbl := texttable.New("Saturation: offered load vs delivered throughput and tail latency (open loop)",
-		"system", "admission", "offered/s", "served/s", "shed%", "p50ms", "p99ms", "slo%", "maxdepth")
+		"system", "admission", "offered/s", "served/s", "shed%", "p50ms", "p99ms", "slo%", "maxdepth",
+		"queue%", "svc%")
 	for _, row := range rows {
 		tbl.AddRow(row...)
 	}
 	return &Result{ID: "saturation", Title: tbl.Title, Table: tbl}, nil
+}
+
+// queueServiceShares attributes the query spans in the flight recorder
+// and returns queueing's and service's percentage shares of the total
+// latency mass. In the station model these two phases partition each
+// query's wall clock, so the pair sums to ~100 and the queue share
+// rising toward 100 is the knee forming.
+func queueServiceShares(tr *trace.Tracer) (queuePct, svcPct float64) {
+	events := tr.Events()
+	a, _ := trace.Analyze(events)
+	var queue, svc, total time.Duration
+	for _, bd := range attrib.Attribute(events, a, attrib.Options{}) {
+		queue += bd.Phases[attrib.PhaseQueue]
+		svc += bd.Phases[attrib.PhaseService]
+		total += bd.Total
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(queue) / float64(total) * 100, float64(svc) / float64(total) * 100
 }

@@ -40,6 +40,50 @@ func TestSaturationShape(t *testing.T) {
 			t.Errorf("%s: admit-all p99 %d not ≫ shed p99 %d at overload", system, open, shed)
 		}
 	}
+
+	// The attribution columns (queue%, svc%): the two phases partition
+	// each query's wall clock under the station model, and overload is
+	// queueing — the admit-all queue share must climb toward the knee and
+	// dominate past it.
+	share := func(system, admission, rate string, col int) float64 {
+		t.Helper()
+		for _, row := range res.Table.Rows {
+			if row[0] == system && row[1] == admission && row[2] == rate {
+				v, err := strconv.ParseFloat(row[col], 64)
+				if err != nil {
+					t.Fatalf("bad share cell %q: %v", row[col], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no row for %s/%s/%s", system, admission, rate)
+		return 0
+	}
+	const qCol, svcCol = 9, 10
+	for _, row := range res.Table.Rows {
+		q, err := strconv.ParseFloat(row[qCol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := strconv.ParseFloat(row[svcCol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum := q + svc; sum < 99 || sum > 101 {
+			t.Errorf("%s/%s/%s: queue%%+svc%% = %v, want ~100", row[0], row[1], row[2], sum)
+		}
+	}
+	for _, system := range []string{"pool", "dim"} {
+		light := share(system, "admit-all", "50", qCol)
+		heavy := share(system, "admit-all", "400", qCol)
+		if heavy <= light {
+			t.Errorf("%s: queue share did not rise toward the knee (%v%% at 50/s, %v%% at 400/s)",
+				system, light, heavy)
+		}
+		if heavy < 50 {
+			t.Errorf("%s: queue share %v%% past the knee, want queueing-dominated", system, heavy)
+		}
+	}
 }
 
 // TestSaturationParallelInvariance: the sweep must be byte-identical at

@@ -2,12 +2,15 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"pooldcs/internal/dcs"
 	"pooldcs/internal/dim"
+	"pooldcs/internal/event"
 	"pooldcs/internal/field"
 	"pooldcs/internal/gpsr"
 	"pooldcs/internal/network"
+	"pooldcs/internal/node"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
@@ -22,7 +25,10 @@ import (
 // events alongside the network counters so trace-derived totals can be
 // checked against the accounting layer.
 type TraceOptions struct {
-	// System selects the traced scheme: "pool" or "dim".
+	// System selects the traced scheme: "pool" or "dim" (synchronous
+	// replays, clock pinned at zero) or "node" (the actor engine on real
+	// virtual time, the mode whose traces carry durations the autopsy
+	// can decompose).
 	System string
 	// Seed drives every random choice; identical options reproduce
 	// identical traces.
@@ -72,11 +78,14 @@ type TraceResult struct {
 
 // TraceRun replays a seeded workload with tracing enabled.
 func TraceRun(o TraceOptions) (*TraceResult, error) {
-	if o.System != "pool" && o.System != "dim" {
-		return nil, fmt.Errorf("experiment: unknown trace system %q (want pool or dim)", o.System)
+	if o.System != "pool" && o.System != "dim" && o.System != "node" {
+		return nil, fmt.Errorf("experiment: unknown trace system %q (want pool, dim, or node)", o.System)
 	}
 	if o.System == "dim" && (o.Subscriptions > 0 || o.Failures > 0) {
 		return nil, fmt.Errorf("experiment: subscriptions and failures are Pool-only")
+	}
+	if o.System == "node" && o.Subscriptions > 0 {
+		return nil, fmt.Errorf("experiment: subscriptions are Pool-only")
 	}
 	src := rng.New(o.Seed)
 	layout, err := field.Generate(field.DefaultSpec(o.Nodes), src.Fork("layout"))
@@ -84,10 +93,15 @@ func TraceRun(o TraceOptions) (*TraceResult, error) {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	router := gpsr.New(layout)
-	// The scheduler is the trace clock; synchronous replays leave it at
-	// zero, so span order and hop counts carry the causality instead.
-	tr := trace.New(sim.NewScheduler())
+	// The scheduler is the trace clock; synchronous replays never run it,
+	// so span order and hop counts carry the causality instead, while the
+	// node mode advances it for real and stamps durations.
+	sched := sim.NewScheduler()
+	tr := trace.New(sched)
 	net := network.New(layout, network.WithTracer(tr))
+	if o.System == "node" {
+		return traceNodeRun(o, src, layout, router, tr, net, sched)
+	}
 
 	var sys dcs.System
 	var poolSys *pool.System
@@ -158,6 +172,79 @@ func TraceRun(o TraceOptions) (*TraceResult, error) {
 			return nil, fmt.Errorf("experiment: trace query %d: %w", i, err)
 		}
 		res.Matches += len(matches)
+	}
+
+	res.Events = tr.Events()
+	res.Counters = net.Snapshot()
+	return res, nil
+}
+
+// traceNodeRun replays the workload on the message-driven actor engine:
+// the bulk load is preloaded synchronously, failures (if any) crash
+// nodes the way the chaos engine does, and the queries then launch
+// concurrently so they contend with the repair traffic on the virtual
+// clock. The resulting trace carries real durations — transmit, ARQ
+// stalls, queueing, retry detours, repair interference — which is what
+// the autopsy subcommand decomposes.
+func traceNodeRun(o TraceOptions, src *rng.Source, layout *field.Layout, router *gpsr.Router,
+	tr *trace.Tracer, net *network.Network, sched *sim.Scheduler) (*TraceResult, error) {
+	eng, err := node.NewEngine(net, router, sched, o.Dims, src.Fork("pivots"), nil,
+		node.WithReplication(), node.WithTracer(tr))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	eng.EnableService(churnServiceTime)
+
+	gen := workload.NewUniformEvents(src.Fork("events"), o.Dims)
+	for n := 0; n < layout.N(); n++ {
+		for i := 0; i < o.EventsPerNode; i++ {
+			if err := eng.Preload(n, gen.Next()); err != nil {
+				return nil, fmt.Errorf("experiment: trace preload: %w", err)
+			}
+		}
+	}
+
+	res := &TraceResult{}
+	dead := make(map[int]bool)
+	if o.Failures > 0 {
+		failSrc := src.Fork("failures")
+		for killed := 0; killed < o.Failures; {
+			id := failSrc.Intn(layout.N())
+			if dead[id] {
+				continue
+			}
+			dead[id] = true
+			router.Exclude(id)
+			net.FailNode(id)
+			if err := eng.FailNode(id); err != nil {
+				return nil, fmt.Errorf("experiment: trace failure: %w", err)
+			}
+			killed++
+		}
+	}
+
+	qgen := workload.NewQueries(src.Fork("queries"), o.Dims)
+	sinks := src.Fork("sinks")
+	for i := 0; i < o.Queries; i++ {
+		q := qgen.ExactMatch(workload.ExponentialSizes)
+		if i%2 == 1 && o.Dims >= 2 {
+			if pq, err := qgen.MPartial(1); err == nil {
+				q = pq
+			}
+		}
+		sink := sinks.Intn(layout.N())
+		for dead[sink] {
+			sink = (sink + 1) % layout.N()
+		}
+		if err := eng.Query(sink, q, func(results []event.Event, _ time.Duration) {
+			res.Matches += len(results)
+		}); err != nil {
+			return nil, fmt.Errorf("experiment: trace query %d: %w", i, err)
+		}
+	}
+	sched.Run()
+	for _, err := range eng.Errors() {
+		return nil, fmt.Errorf("experiment: trace node engine: %w", err)
 	}
 
 	res.Events = tr.Events()

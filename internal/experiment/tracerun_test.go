@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"testing"
+	"time"
 
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/network"
 	"pooldcs/internal/trace"
 )
@@ -31,6 +33,12 @@ func TestTraceRunValidation(t *testing.T) {
 	o.Failures = 2
 	if _, err := TraceRun(o); err == nil {
 		t.Error("dim with failures accepted")
+	}
+	o = smallTraceOptions()
+	o.System = "node"
+	o.Subscriptions = 1
+	if _, err := TraceRun(o); err == nil {
+		t.Error("node with subscriptions accepted")
 	}
 }
 
@@ -144,5 +152,99 @@ func TestTraceRunFailures(t *testing.T) {
 	}
 	if got := len(a.RootsByOp(trace.OpFail)); got != 5 {
 		t.Errorf("failure spans = %d, want 5", got)
+	}
+}
+
+// TestTraceRunNodeDurations: the actor-engine mode is the one whose
+// traces carry real time. Every query span must have positive duration,
+// the attribution must partition each span exactly, and a run with
+// failures must blame some latency on repair interference.
+func TestTraceRunNodeDurations(t *testing.T) {
+	o := smallTraceOptions()
+	o.System = "node"
+	o.Queries = 12
+	res, err := TraceRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := a.RootsByOp(trace.OpQuery)
+	if len(roots) != o.Queries {
+		t.Fatalf("query spans = %d, want %d", len(roots), o.Queries)
+	}
+	bds := attrib.Attribute(res.Events, a, attrib.Options{})
+	if len(bds) != o.Queries {
+		t.Fatalf("breakdowns = %d, want %d", len(bds), o.Queries)
+	}
+	for _, bd := range bds {
+		if bd.Total <= 0 {
+			t.Errorf("span %d: total %v, want > 0", bd.Span, bd.Total)
+		}
+		var sum int64
+		for _, d := range bd.Phases {
+			sum += int64(d)
+		}
+		if sum != int64(bd.Total) {
+			t.Errorf("span %d: phases sum %d != total %d", bd.Span, sum, bd.Total)
+		}
+		if bd.Phases[attrib.PhaseRepair] != 0 {
+			t.Errorf("span %d: repair phase %v in a healthy run", bd.Span, bd.Phases[attrib.PhaseRepair])
+		}
+	}
+	if res.Matches == 0 {
+		t.Error("node queries returned no matches")
+	}
+
+	o.Failures = 4
+	o.Seed = 7
+	fres, err := TraceRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := trace.Analyze(fres.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var horizon time.Duration
+	for _, ev := range fres.Events {
+		if ev.T > horizon {
+			horizon = ev.T
+		}
+	}
+	if got := len(attrib.RepairWindows(fres.Events, horizon)); got == 0 {
+		t.Error("failure run produced no repair windows")
+	}
+	var repair int64
+	for _, bd := range attrib.Attribute(fres.Events, fa, attrib.Options{}) {
+		repair += int64(bd.Phases[attrib.PhaseRepair])
+	}
+	if repair == 0 {
+		t.Error("no latency attributed to repair interference under failures")
+	}
+}
+
+func TestTraceRunNodeDeterministic(t *testing.T) {
+	o := smallTraceOptions()
+	o.System = "node"
+	o.Failures = 3
+	r1, err := TraceRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := TraceRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Events) != len(r2.Events) || r1.Matches != r2.Matches {
+		t.Fatalf("same seed diverged: %d/%d events, %d/%d matches",
+			len(r1.Events), len(r2.Events), r1.Matches, r2.Matches)
+	}
+	for i := range r1.Events {
+		if r1.Events[i] != r2.Events[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, r1.Events[i], r2.Events[i])
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/sim"
+	"pooldcs/internal/trace"
 )
 
 // Target is what the load engine drives: it resolves the station serving
@@ -100,6 +101,11 @@ type StationTarget struct {
 	batchWindow time.Duration
 	batches     map[int]*batch
 
+	// tracer, when non-nil (Engine.EnableAutopsy), receives wait/serve
+	// records bracketing the station queueing delay of each traced
+	// operation.
+	tracer *trace.Tracer
+
 	errs []error
 }
 
@@ -161,8 +167,25 @@ func (t *StationTarget) Launch(op *Op, station int, done func()) error {
 	if err != nil {
 		return err
 	}
-	t.station(station).Submit(t.cost.demand(msgs), func(wait, service time.Duration) { done() })
+	st := t.station(station)
+	t.recordQueueing(st, station)
+	st.Submit(t.cost.demand(msgs), func(wait, service time.Duration) { done() })
 	return nil
+}
+
+// recordQueueing stamps the queue-entry and service-start records for
+// the ambient span, if any. The station's busy-until watermark is
+// already known at submit time, so no extra scheduler event is needed.
+func (t *StationTarget) recordQueueing(st *Station, station int) {
+	if t.tracer.CurrentSpan() == 0 {
+		return
+	}
+	start := t.sched.Now()
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	t.tracer.Record(trace.TypeWait, station, st.Depth(), "")
+	t.tracer.RecordAt(start, trace.TypeServe, station, 0, "")
 }
 
 // ConfigureBatch implements Batcher.

@@ -5,10 +5,12 @@ import (
 	"sort"
 	"time"
 
+	"pooldcs/internal/attrib"
 	"pooldcs/internal/metrics"
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/stats"
+	"pooldcs/internal/trace"
 	"pooldcs/internal/workload"
 )
 
@@ -123,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.SLO == (SLO{}) {
 		c.SLO = DefaultSLO
 	}
+	if c.SLO.Budget <= 0 || c.SLO.Budget > 1 {
+		c.SLO.Budget = DefaultSLO.Budget
+	}
 	c.Admission = c.Admission.withDefaults()
 	return c
 }
@@ -172,10 +177,28 @@ type Engine struct {
 	rep      *Report
 	windows  map[int64]*stats.IntHistogram
 
-	mOps      *metrics.CounterVec
-	mOutcomes *metrics.CounterVec
-	mSLOTotal *metrics.Counter
-	mSLOBad   *metrics.Counter
+	// Autopsy state (nil tracer = disabled). wcands buffers the spans
+	// and latencies of each still-open window's completions; curWidx is
+	// the newest window a completion has landed in. Windows are captured
+	// eagerly as soon as a later completion proves them closed, before
+	// the flight-recorder ring can evict their evidence.
+	tracer  *trace.Tracer
+	wcands  map[int64][]exCand
+	curWidx int64
+
+	mOps       *metrics.CounterVec
+	mOutcomes  *metrics.CounterVec
+	mSLOTotal  *metrics.Counter
+	mSLOBad    *metrics.Counter
+	mPhase     *metrics.CounterVec
+	mExemplars *metrics.Counter
+}
+
+// exCand is one completed query awaiting its window's SLO verdict.
+type exCand struct {
+	span uint64
+	node int
+	lat  time.Duration
 }
 
 // NewEngine builds a run over target, a deployment of nodes sensors.
@@ -256,6 +279,59 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 	}
 }
 
+// exemplarsPerWindow caps how many worst offenders a breached window
+// snapshots; burnFastWindows is the fast burn rate's lookback.
+const (
+	exemplarsPerWindow = 2
+	burnFastWindows    = 6
+)
+
+// EnableAutopsy attaches a causal tracer — typically a bounded ring
+// from trace.NewRing, the always-on flight recorder — and turns on
+// SLO-exemplar capture: every query runs under its own span, station
+// queueing leaves wait/serve records, and when an evaluation window
+// closes in breach the engine snapshots its worst offenders as
+// attributed Exemplars before eviction can erase the evidence. The
+// report gains Exemplars and multi-window burn rates. Call before Run;
+// a nil tracer is a no-op.
+func (e *Engine) EnableAutopsy(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	e.tracer = tr
+	e.wcands = make(map[int64][]exCand)
+	e.curWidx = -1
+	switch t := e.target.(type) {
+	case *StationTarget:
+		t.tracer = tr
+	case *ActorTarget:
+		t.eng.SetTracer(tr)
+	}
+}
+
+// EnableAutopsyMetrics registers the attribution and burn-rate families
+// on reg. Deliberately separate from EnableMetrics: deployments that
+// never run the autopsy keep their exposition output byte-identical. A
+// nil registry is a no-op.
+func (e *Engine) EnableAutopsyMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	phases := make([]string, 0, int(attrib.NumPhases))
+	for _, p := range attrib.Phases() {
+		phases = append(phases, p.String())
+	}
+	e.mPhase = reg.CounterVec("attrib_phase_ms_total",
+		"latency mass attributed to each phase across captured exemplars (ms)", "phase", phases)
+	e.mExemplars = reg.Counter("attrib_exemplars_total", "worst offenders captured from breached SLO windows")
+	reg.GaugeFunc("slo_burn_fast",
+		"breached-window fraction over the last 6 windows divided by the error budget",
+		func() float64 { return e.rep.BurnFast })
+	reg.GaugeFunc("slo_burn_slow",
+		"breached-window fraction over the whole run divided by the error budget",
+		func() float64 { return e.rep.BurnSlow })
+}
+
 // weight returns a class's mix weight.
 func weight(m Mix, c Class) float64 {
 	switch c {
@@ -297,6 +373,11 @@ func (e *Engine) offer(op *Op, done func()) error {
 	cs.Offered++
 	e.mOps.Add(int(op.Class), 1)
 
+	var span uint64
+	if e.tracer != nil && op.Class != Insert {
+		span = e.tracer.BeginAt(0, trace.OpQuery, op.Node, op.Class.String())
+	}
+
 	station := e.target.Station(op)
 	decision := Admit
 	if op.Class != Insert && e.cfg.Admission.Policy != AdmitAll {
@@ -314,6 +395,7 @@ func (e *Engine) offer(op *Op, done func()) error {
 	}
 	switch decision {
 	case Shed:
+		e.tracer.EndSpan(span)
 		e.rep.Shed++
 		cs.Shed++
 		e.mOutcomes.Add(1, 1)
@@ -339,6 +421,7 @@ func (e *Engine) offer(op *Op, done func()) error {
 		}
 		cs.Served++
 		e.mOutcomes.Add(0, 1)
+		e.tracer.EndSpan(span)
 		if op.Class != Insert && e.cfg.SLO.Window > 0 {
 			idx := int64((e.sched.Now() - e.start) / e.cfg.SLO.Window)
 			h := e.windows[idx]
@@ -347,6 +430,19 @@ func (e *Engine) offer(op *Op, done func()) error {
 				e.windows[idx] = h
 			}
 			h.Add(ms)
+			if span != 0 {
+				// Completion times are monotone, so a completion in a
+				// later window proves every earlier one closed: capture
+				// breached windows now, while their spans still live in
+				// the ring.
+				if e.curWidx >= 0 && idx > e.curWidx {
+					e.captureWindow(e.curWidx)
+				}
+				if idx > e.curWidx {
+					e.curWidx = idx
+				}
+				e.wcands[idx] = append(e.wcands[idx], exCand{span: span, node: op.Node, lat: elapsed})
+			}
 		}
 		if done != nil {
 			done()
@@ -354,6 +450,10 @@ func (e *Engine) offer(op *Op, done func()) error {
 	}
 	if decision == Batch {
 		return e.target.(Batcher).LaunchBatched(op, station, complete)
+	}
+	if span != 0 {
+		e.tracer.PushSpan(span)
+		defer e.tracer.PopSpan()
 	}
 	return e.target.Launch(op, station, complete)
 }
@@ -441,10 +541,68 @@ func (e *Engine) startClosed(fail func(error)) {
 	}
 }
 
-// finishSLO evaluates every window that saw query traffic.
+// captureWindow closes one SLO window: if its p99 breached the target,
+// the window's worst offenders become attributed Exemplars. Runs the
+// moment the window is provably over — against a ring tracer, waiting
+// until the end of the run would find the evidence evicted.
+func (e *Engine) captureWindow(idx int64) {
+	cands := e.wcands[idx]
+	delete(e.wcands, idx)
+	h := e.windows[idx]
+	if h == nil || len(cands) == 0 {
+		return
+	}
+	if h.Quantile(99) <= int64(e.cfg.SLO.P99/time.Millisecond) {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat > cands[j].lat
+		}
+		return cands[i].span < cands[j].span
+	})
+	if len(cands) > exemplarsPerWindow {
+		cands = cands[:exemplarsPerWindow]
+	}
+	events := e.tracer.Events()
+	for _, c := range cands {
+		ex := Exemplar{Window: idx, Node: c.node, Latency: c.lat}
+		if sub := trace.ExtractSpan(events, c.span); len(sub) == 0 {
+			// The ring evicted the whole span; record the offender's
+			// identity and latency anyway.
+			ex.Truncated = true
+			ex.Breakdown.Span = c.span
+		} else {
+			a, _ := trace.Analyze(sub)
+			ex.Truncated = a.Truncated
+			for _, bd := range attrib.Attribute(sub, a, attrib.Options{}) {
+				if bd.Span == c.span {
+					ex.Breakdown = bd
+					break
+				}
+			}
+		}
+		e.rep.Exemplars = append(e.rep.Exemplars, ex)
+		if e.mExemplars != nil {
+			e.mExemplars.Inc()
+		}
+		if e.mPhase != nil {
+			for p, d := range ex.Breakdown.Phases {
+				e.mPhase.Add(p, uint64(d/time.Millisecond))
+			}
+		}
+	}
+}
+
+// finishSLO evaluates every window that saw query traffic and derives
+// the burn rates.
 func (e *Engine) finishSLO() {
 	if e.cfg.SLO.Window <= 0 {
 		return
+	}
+	if e.tracer != nil && e.curWidx >= 0 {
+		e.captureWindow(e.curWidx)
+		e.curWidx = -1
 	}
 	target := int64(e.cfg.SLO.P99 / time.Millisecond)
 	idxs := make([]int64, 0, len(e.windows))
@@ -452,14 +610,31 @@ func (e *Engine) finishSLO() {
 		idxs = append(idxs, idx)
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	breached := make([]bool, 0, len(idxs))
 	for _, idx := range idxs {
 		e.rep.SLOWindows++
 		e.mSLOTotal.Inc()
 		if e.windows[idx].Quantile(99) <= target {
 			e.rep.SLOOK++
+			breached = append(breached, false)
 		} else {
 			e.mSLOBad.Inc()
+			breached = append(breached, true)
 		}
+	}
+	if n := len(breached); n > 0 && e.cfg.SLO.Budget > 0 {
+		fast := breached
+		if n > burnFastWindows {
+			fast = breached[n-burnFastWindows:]
+		}
+		bad := 0
+		for _, b := range fast {
+			if b {
+				bad++
+			}
+		}
+		e.rep.BurnFast = float64(bad) / float64(len(fast)) / e.cfg.SLO.Budget
+		e.rep.BurnSlow = float64(n-e.rep.SLOOK) / float64(n) / e.cfg.SLO.Budget
 	}
 }
 

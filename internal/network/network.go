@@ -228,6 +228,11 @@ func WithTracer(t *trace.Tracer) Option {
 	return optionFunc(func(n *Network) { n.tracer = t })
 }
 
+// SetTracer attaches (or replaces) the per-hop tracer after
+// construction: the hook the load harness's autopsy uses on deployments
+// built without one.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
 // WithMTU enables link-layer fragmentation: payloads larger than mtu
 // bytes are split into ⌈size/mtu⌉ frames, each counted as one message.
 // Real mote radios carry 30–100 byte frames; the default (no
@@ -334,6 +339,11 @@ func (n *Network) InRange(from, to int) bool {
 // RecoverNode. Out-of-range ids are ignored.
 func (n *Network) FailNode(id int) {
 	if id >= 0 && id < len(n.dead) {
+		if !n.dead[id] {
+			// The crash marker opens the node's repair-interference
+			// window for latency attribution.
+			n.tracer.Record(trace.TypeFault, id, 0, "crash")
+		}
 		n.dead[id] = true
 	}
 }
@@ -342,6 +352,11 @@ func (n *Network) FailNode(id int) {
 // undone: a node with an empty battery stays silent.
 func (n *Network) RecoverNode(id int) {
 	if id >= 0 && id < len(n.dead) {
+		if n.dead[id] {
+			// The recovery marker closes any still-open
+			// repair-interference window for the node.
+			n.tracer.Record(trace.TypeFault, id, 0, "recover")
+		}
 		n.dead[id] = false
 	}
 }

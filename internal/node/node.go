@@ -38,6 +38,7 @@ import (
 	"pooldcs/internal/rng"
 	"pooldcs/internal/sim"
 	"pooldcs/internal/stats"
+	"pooldcs/internal/trace"
 )
 
 // DefaultHopLatency is the per-hop transmission plus processing delay.
@@ -51,6 +52,26 @@ type Option interface {
 type optionFunc func(*Engine)
 
 func (f optionFunc) apply(e *Engine) { f(e) }
+
+// WithTracer attaches a causal-span tracer: every query and insert runs
+// under its own span, recovery detours (alternate splitters, mirror
+// failovers, reply re-sends) under OpRetry sub-spans, and service-queue
+// entries leave wait/serve records — the evidence internal/attrib
+// decomposes into latency phases. Pair it with network.WithTracer on
+// the same tracer so per-hop records land in the same stream. A nil
+// tracer (the default) costs one pointer compare per send.
+func WithTracer(t *trace.Tracer) Option {
+	return optionFunc(func(e *Engine) { e.tracer = t })
+}
+
+// SetTracer attaches the tracer after construction, to the engine and
+// its network both, so causal spans and the per-hop records they
+// decompose into land in one stream. The load harness's autopsy uses
+// this on deployments built without tracing.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	e.net.SetTracer(t)
+}
 
 // WithReplication enables cell-level mirroring, the same design as
 // pool.WithReplication: every stored event is copied to the cell's
@@ -114,6 +135,10 @@ type Engine struct {
 	seq  uint64
 	errs []error
 
+	// tracer, when non-nil, records causal spans for latency attribution
+	// (WithTracer).
+	tracer *trace.Tracer
+
 	// Metric handles (nil until EnableMetrics).
 	mMailbox  *metrics.GaugeVec
 	mInserts  *metrics.Counter
@@ -130,6 +155,8 @@ type storeKey struct {
 type operation struct {
 	id   uint64
 	sink int
+	// span is the query's trace span (0 when tracing is off).
+	span uint64
 	// poolsLeft is how many pool replies the sink still awaits.
 	poolsLeft int
 	results   []event.Event
@@ -258,6 +285,32 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 		})
 }
 
+// spanned returns fn bracketed so it executes with span as the ambient
+// tracer span — the bridge that carries span identity across scheduler
+// callbacks. With tracing off (or no span to carry) fn is returned
+// unchanged, so the disabled path allocates nothing.
+func (e *Engine) spanned(span uint64, fn func()) func() {
+	if e.tracer == nil || span == 0 {
+		return fn
+	}
+	return func() {
+		e.tracer.PushSpan(span)
+		fn()
+		e.tracer.PopSpan()
+	}
+}
+
+// within runs fn immediately with span as the ambient tracer span.
+func (e *Engine) within(span uint64, fn func()) {
+	if e.tracer == nil || span == 0 {
+		fn()
+		return
+	}
+	e.tracer.PushSpan(span)
+	fn()
+	e.tracer.PopSpan()
+}
+
 // Errors returns non-degradable transport errors recorded during the
 // run (nil when the run was clean). Degradable failures — dead radios,
 // partitions, exhausted hop budgets — are not errors: they feed the
@@ -277,6 +330,10 @@ func (e *Engine) Pools() []pool.Pool { return e.pools }
 // degradable losses silently (the caller has no retry policy); a
 // non-degradable fault is always recorded in Errors.
 func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(), fail func(error)) {
+	// The exchange belongs to whatever span is ambient at send time;
+	// every scheduled continuation re-enters it so per-hop records and
+	// downstream sends attribute correctly.
+	span := e.tracer.CurrentSpan()
 	e.mMailbox.Add(to, 1)
 	failed := func(err error) {
 		e.mMailbox.Add(to, -1)
@@ -303,7 +360,7 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(),
 		})
 	}
 	if from == to {
-		e.sched.After(0, delivered)
+		e.sched.After(0, e.spanned(span, delivered))
 		return
 	}
 	res, err := e.router.RouteToNode(from, to)
@@ -312,7 +369,7 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(),
 		if errors.Is(err, gpsr.ErrUnreachable) {
 			wrapped = fmt.Errorf("node: send %d→%d: %v: %w", from, to, err, dcs.ErrUnreachable)
 		}
-		e.sched.After(0, func() { failed(wrapped) })
+		e.sched.After(0, e.spanned(span, func() { failed(wrapped) }))
 		return
 	}
 	path := res.Path
@@ -325,7 +382,7 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(),
 		err := e.net.Transmit(path[i], path[i+1], kind, size)
 		switch {
 		case err == nil:
-			e.sched.After(e.hopLatency, func() {
+			e.sched.After(e.hopLatency, e.spanned(span, func() {
 				// The frame arrives now. A receiver that died while it
 				// was on the air never takes it — reception needs a
 				// powered radio at arrival time, not just at transmit
@@ -340,14 +397,14 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(),
 					return
 				}
 				hop(i+1, 1)
-			})
+			}))
 		case errors.Is(err, network.ErrFrameLost):
 			if attempt >= dcs.DefaultMaxRetransmissions {
 				failed(fmt.Errorf("node: hop %d→%d dropped after %d attempts: %w",
 					path[i], path[i+1], attempt, dcs.ErrHopExhausted))
 				return
 			}
-			e.sched.After(e.hopLatency, func() { hop(i, attempt+1) })
+			e.sched.After(e.hopLatency, e.spanned(span, func() { hop(i, attempt+1) }))
 		case errors.Is(err, network.ErrNodeDown):
 			// A dead neighbour is indistinguishable from frame loss at
 			// the link layer — no ack comes back either way — so the
@@ -358,7 +415,7 @@ func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(),
 				failed(fmt.Errorf("node: hop %d→%d: %v: %w", path[i], path[i+1], err, dcs.ErrUnreachable))
 				return
 			}
-			e.sched.After(e.hopLatency, func() { hop(i, attempt+1) })
+			e.sched.After(e.hopLatency, e.spanned(span, func() { hop(i, attempt+1) }))
 		default:
 			failed(fmt.Errorf("node: transmit: %w", err))
 		}
@@ -404,12 +461,20 @@ func (e *Engine) Insert(origin int, ev event.Event, done func()) error {
 	}
 	index, key := e.placement(origin, ev)
 	e.mInserts.Inc()
-	e.send(origin, index, network.KindInsert, dcs.EventBytes(e.dims), func() {
-		e.storeEvent(key, index, ev, true)
-		if done != nil {
-			done()
-		}
-	}, nil)
+	span := e.tracer.BeginAt(e.tracer.CurrentSpan(), trace.OpInsert, origin, "")
+	var fail func(error)
+	if span != 0 {
+		fail = func(error) { e.tracer.EndSpan(span) }
+	}
+	e.within(span, func() {
+		e.send(origin, index, network.KindInsert, dcs.EventBytes(e.dims), func() {
+			e.storeEvent(key, index, ev, true)
+			e.tracer.EndSpan(span)
+			if done != nil {
+				done()
+			}
+		}, fail)
+	})
 	return nil
 }
 
@@ -488,6 +553,7 @@ func (e *Engine) QueryWithReport(sink int, q event.Query, onDone func(results []
 	op := &operation{
 		id:      e.seq,
 		sink:    sink,
+		span:    e.tracer.BeginAt(e.tracer.CurrentSpan(), trace.OpQuery, sink, ""),
 		started: e.sched.Now(),
 		onDone:  onDone,
 	}
@@ -512,7 +578,7 @@ func (e *Engine) QueryWithReport(sink int, q event.Query, onDone func(results []
 	for _, plan := range plans {
 		plan := plan
 		op.comp.CellsTotal += len(plan.cells)
-		e.startPool(op, plan.p, plan.cells, rq)
+		e.within(op.span, func() { e.startPool(op, plan.p, plan.cells, rq) })
 	}
 	return nil
 }
@@ -533,10 +599,15 @@ func (e *Engine) startPool(op *operation, p pool.Pool, cells []pool.CellID, rq e
 			return
 		}
 		op.comp.Retries++
-		e.send(op.sink, alt, network.KindQuery, qBytes, func() {
-			e.runSplitter(op, p, alt, cells, rq)
-		}, func(error) {
-			e.poolUnreached(op, p, cells)
+		r := e.tracer.BeginAt(op.span, trace.OpRetry, op.sink, "alt-splitter")
+		e.within(r, func() {
+			e.send(op.sink, alt, network.KindQuery, qBytes, func() {
+				e.tracer.EndSpan(r)
+				e.within(op.span, func() { e.runSplitter(op, p, alt, cells, rq) })
+			}, func(error) {
+				e.tracer.EndSpan(r)
+				e.within(op.span, func() { e.poolUnreached(op, p, cells) })
+			})
 		})
 	})
 }
@@ -573,18 +644,28 @@ func (e *Engine) queryCellVia(op *operation, g *gather, p pool.Pool, c pool.Cell
 	}, func(error) {
 		op.comp.Retries++
 		if m, ok := e.mirrorFor(key, index); ok {
-			e.send(g.splitter, m, network.KindQuery, qBytes, func() {
-				e.serveCell(op, g, p, c, key, m, true, rq)
-			}, func(error) {
-				e.cellUnreached(op, g, p, c)
+			r := e.tracer.BeginAt(op.span, trace.OpRetry, g.splitter, "mirror")
+			e.within(r, func() {
+				e.send(g.splitter, m, network.KindQuery, qBytes, func() {
+					e.tracer.EndSpan(r)
+					e.within(op.span, func() { e.serveCell(op, g, p, c, key, m, true, rq) })
+				}, func(error) {
+					e.tracer.EndSpan(r)
+					e.within(op.span, func() { e.cellUnreached(op, g, p, c) })
+				})
 			})
 			return
 		}
 		// No mirror: back off and re-attempt the primary once.
-		e.send(g.splitter, index, network.KindQuery, qBytes, func() {
-			e.serveCell(op, g, p, c, key, index, false, rq)
-		}, func(error) {
-			e.cellUnreached(op, g, p, c)
+		r := e.tracer.BeginAt(op.span, trace.OpRetry, g.splitter, "primary")
+		e.within(r, func() {
+			e.send(g.splitter, index, network.KindQuery, qBytes, func() {
+				e.tracer.EndSpan(r)
+				e.within(op.span, func() { e.serveCell(op, g, p, c, key, index, false, rq) })
+			}, func(error) {
+				e.tracer.EndSpan(r)
+				e.within(op.span, func() { e.cellUnreached(op, g, p, c) })
+			})
 		})
 	})
 }
@@ -606,8 +687,15 @@ func (e *Engine) serveCell(op *operation, g *gather, p pool.Pool, c pool.CellID,
 	deliver := func() { e.cellServed(op, g, p, c, matches, partial) }
 	e.send(target, g.splitter, network.KindReply, reply, deliver, func(error) {
 		op.comp.Retries++
-		e.send(target, g.splitter, network.KindReply, reply, deliver, func(error) {
-			e.cellUnreached(op, g, p, c)
+		r := e.tracer.BeginAt(op.span, trace.OpRetry, target, "reply")
+		e.within(r, func() {
+			e.send(target, g.splitter, network.KindReply, reply, func() {
+				e.tracer.EndSpan(r)
+				e.within(op.span, deliver)
+			}, func(error) {
+				e.tracer.EndSpan(r)
+				e.within(op.span, func() { e.cellUnreached(op, g, p, c) })
+			})
 		})
 	})
 }
@@ -642,21 +730,34 @@ func (e *Engine) cellUnreached(op *operation, g *gather, p pool.Pool, c pool.Cel
 func (e *Engine) finishPool(op *operation, g *gather, p pool.Pool) {
 	reply := dcs.ReplyBytes(e.dims, len(g.results))
 	success := func() {
+		// The merge marker: from here to span end the sink is folding
+		// pool replies together.
+		e.tracer.Record(trace.TypeReply, op.sink, len(g.results), "")
 		op.comp.CellsReached += len(g.served)
 		op.results = append(op.results, g.results...)
 		e.poolDone(op)
 	}
+	demote := func() {
+		for _, sc := range g.served {
+			if sc.matches > 0 {
+				op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, sc.cell))
+			} else {
+				op.comp.CellsReached++
+			}
+		}
+		e.poolDone(op)
+	}
 	e.send(g.splitter, op.sink, network.KindReply, reply, success, func(error) {
 		op.comp.Retries++
-		e.send(g.splitter, op.sink, network.KindReply, reply, success, func(error) {
-			for _, sc := range g.served {
-				if sc.matches > 0 {
-					op.comp.Unreached = append(op.comp.Unreached, pool.CellLabel(p.Dim, sc.cell))
-				} else {
-					op.comp.CellsReached++
-				}
-			}
-			e.poolDone(op)
+		r := e.tracer.BeginAt(op.span, trace.OpRetry, g.splitter, "reply")
+		e.within(r, func() {
+			e.send(g.splitter, op.sink, network.KindReply, reply, func() {
+				e.tracer.EndSpan(r)
+				e.within(op.span, success)
+			}, func(error) {
+				e.tracer.EndSpan(r)
+				e.within(op.span, demote)
+			})
 		})
 	})
 }
@@ -671,6 +772,7 @@ func (e *Engine) poolDone(op *operation) {
 }
 
 func (e *Engine) finish(op *operation) {
+	e.tracer.EndSpan(op.span)
 	delete(e.ops, op.id)
 	if op.onDone != nil {
 		op.onDone(op.results, op.comp, e.sched.Now()-op.started)

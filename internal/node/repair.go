@@ -46,6 +46,7 @@ import (
 	"pooldcs/internal/network"
 	"pooldcs/internal/pool"
 	"pooldcs/internal/stats"
+	"pooldcs/internal/trace"
 )
 
 // repairChunkEvents bounds one state-transfer chunk: small enough that a
@@ -278,6 +279,10 @@ func (e *Engine) FailNode(victim int) error {
 
 	if run.pending > 0 {
 		e.repairs[victim] = run
+	} else {
+		// Nothing to exchange: the repair-interference window closes the
+		// moment the failure is detected.
+		e.tracer.Record(trace.TypeRepair, victim, 0, "done")
 	}
 	return nil
 }
@@ -610,6 +615,8 @@ func (e *Engine) taskDone(run *repairRun) {
 	if e.repairs[run.victim] == run {
 		delete(e.repairs, run.victim)
 		e.repairHist.Add(int64((e.sched.Now() - run.started) / time.Millisecond))
+		// Convergence closes the victim's repair-interference window.
+		e.tracer.Record(trace.TypeRepair, run.victim, 0, "done")
 	}
 }
 

@@ -95,9 +95,19 @@ type Analysis struct {
 	Horizon time.Duration
 	// BackgroundFrames counts frames recorded outside any span.
 	BackgroundFrames uint64
+	// Truncated reports that the stream was partial: a span started
+	// twice, an event referenced a span whose start was never seen
+	// (ring-buffer eviction, mid-drain JSONL truncation), or a span was
+	// never closed. The Analysis is still usable — orphaned traffic
+	// counts as background, unclosed spans end at the horizon.
+	Truncated bool
 }
 
 // Analyze reconstructs spans and aggregates from a flat event stream.
+// Unbalanced streams — ring-evicted flight-recorder contents, JSONL cut
+// off mid-drain, spans still open at the horizon — never fail: the
+// partial structure is reconstructed and Truncated is set. The error
+// return is always nil and kept only for call-site stability.
 func Analyze(events []Event) (*Analysis, error) {
 	a := &Analysis{
 		Events: len(events),
@@ -105,15 +115,18 @@ func Analyze(events []Event) (*Analysis, error) {
 		ByKind: make(map[string]KindTotals),
 		Nodes:  make(map[int]*NodeTotals),
 	}
-	span := func(id uint64) (*Span, error) {
+	// span resolves a span reference; an unknown id marks the stream
+	// truncated and demotes the event to background.
+	span := func(id uint64) *Span {
 		if id == 0 {
-			return nil, nil
+			return nil
 		}
 		s, ok := a.ByID[id]
 		if !ok {
-			return nil, fmt.Errorf("trace: event references unknown span %d", id)
+			a.Truncated = true
+			return nil
 		}
-		return s, nil
+		return s
 	}
 	node := func(id int) *NodeTotals {
 		n, ok := a.Nodes[id]
@@ -123,6 +136,7 @@ func Analyze(events []Event) (*Analysis, error) {
 		}
 		return n
 	}
+	closed := make(map[uint64]bool)
 	for i := range events {
 		ev := &events[i]
 		if ev.T > a.Horizon {
@@ -131,36 +145,36 @@ func Analyze(events []Event) (*Analysis, error) {
 		switch ev.Type {
 		case TypeSpanStart:
 			if _, dup := a.ByID[ev.Span]; dup {
-				return nil, fmt.Errorf("trace: span %d started twice", ev.Span)
+				// A re-used id (corrupt or spliced stream): keep the
+				// first definition, flag the stream.
+				a.Truncated = true
+				continue
 			}
 			s := &Span{
 				ID: ev.Span, Op: ev.Op, Node: ev.Node, Detail: ev.Detail,
 				Parent: ev.Parent, Start: ev.T, End: ev.T,
 			}
 			a.ByID[ev.Span] = s
-			parent, err := span(ev.Parent)
-			if err != nil {
-				return nil, err
+			if ev.Parent == ev.Span {
+				// A self-parenting span would cycle the tree; demote it
+				// to a root.
+				a.Truncated = true
+				a.Roots = append(a.Roots, s)
+				continue
 			}
-			if parent == nil {
+			if parent := span(ev.Parent); parent == nil {
 				a.Roots = append(a.Roots, s)
 			} else {
 				parent.Items = append(parent.Items, Item{Child: s})
 				parent.children = append(parent.children, s)
 			}
 		case TypeSpanEnd:
-			s, err := span(ev.Span)
-			if err != nil {
-				return nil, err
-			}
-			if s != nil {
+			if s := span(ev.Span); s != nil {
 				s.End = ev.T
+				closed[s.ID] = true
 			}
 		case TypeHop, TypeBroadcast:
-			s, err := span(ev.Span)
-			if err != nil {
-				return nil, err
-			}
+			s := span(ev.Span)
 			frames := uint64(ev.Frames)
 			lost := uint64(0)
 			if ev.Lost {
@@ -187,16 +201,45 @@ func Analyze(events []Event) (*Analysis, error) {
 				s.LostOwn += lost
 			}
 		default:
-			s, err := span(ev.Span)
-			if err != nil {
-				return nil, err
-			}
-			if s != nil {
+			if s := span(ev.Span); s != nil {
 				s.Items = append(s.Items, Item{Record: ev})
 			}
 		}
 	}
+	// Spans whose end was evicted or never reached extend to the horizon
+	// so their duration still bounds the work they cover.
+	for id, s := range a.ByID {
+		if !closed[id] && a.Horizon > s.End {
+			s.End = a.Horizon
+			a.Truncated = true
+		}
+	}
 	return a, nil
+}
+
+// ExtractSpan returns the events belonging to root's subtree — the span
+// boundaries of root and every descendant plus all events recorded under
+// them — preserving stream order. It is the exemplar-capture primitive:
+// a worst-offender query's full causal trace snapshotted out of a flight
+// recorder before eviction claims it.
+func ExtractSpan(events []Event, root uint64) []Event {
+	if root == 0 {
+		return nil
+	}
+	member := map[uint64]bool{root: true}
+	for i := range events {
+		ev := &events[i]
+		if ev.Type == TypeSpanStart && member[ev.Parent] {
+			member[ev.Span] = true
+		}
+	}
+	var out []Event
+	for i := range events {
+		if member[events[i].Span] {
+			out = append(out, events[i])
+		}
+	}
+	return out
 }
 
 // RootsByOp returns the top-level spans of one operation, in start order.

@@ -123,17 +123,80 @@ func TestAnalyzeNodeRanking(t *testing.T) {
 	}
 }
 
-func TestAnalyzeRejectsMalformedSpans(t *testing.T) {
-	if _, err := Analyze([]Event{
+func TestAnalyzeToleratesMalformedSpans(t *testing.T) {
+	// An orphaned hop (its span_start was evicted or cut off) demotes to
+	// background traffic and flags the analysis truncated.
+	a, err := Analyze([]Event{
 		{Type: TypeHop, Span: 99, From: 0, To: 1, Kind: "query", Frames: 1},
-	}); err == nil {
-		t.Error("unknown span reference accepted")
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Analyze([]Event{
+	if !a.Truncated {
+		t.Error("orphaned hop did not mark the analysis truncated")
+	}
+	if a.BackgroundFrames != 1 {
+		t.Errorf("orphaned hop frames = %d, want 1 background frame", a.BackgroundFrames)
+	}
+
+	// A re-used span id keeps the first definition.
+	a, err = Analyze([]Event{
 		{Type: TypeSpanStart, Span: 1, Op: OpQuery, Node: 0},
-		{Type: TypeSpanStart, Span: 1, Op: OpQuery, Node: 0},
-	}); err == nil {
-		t.Error("duplicate span start accepted")
+		{Type: TypeSpanStart, Span: 1, Op: OpInsert, Node: 7},
+		{Type: TypeSpanEnd, Span: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Truncated {
+		t.Error("duplicate span start did not mark the analysis truncated")
+	}
+	if len(a.Roots) != 1 || a.Roots[0].Op != OpQuery {
+		t.Errorf("roots = %+v, want the first span definition kept", a.Roots)
+	}
+}
+
+func TestAnalyzeUnclosedSpanEndsAtHorizon(t *testing.T) {
+	a, err := Analyze([]Event{
+		{T: 1 * time.Millisecond, Type: TypeSpanStart, Span: 1, Op: OpQuery, Node: 0},
+		{T: 9 * time.Millisecond, Type: TypeHop, Span: 1, From: 0, To: 1, Kind: "query", Frames: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Truncated {
+		t.Error("unclosed span did not mark the analysis truncated")
+	}
+	if got := a.ByID[1].Duration(); got != 8*time.Millisecond {
+		t.Errorf("unclosed span duration = %v, want extension to the 9ms horizon", got)
+	}
+}
+
+func TestExtractSpan(t *testing.T) {
+	events := sampleTrace()
+	sub := ExtractSpan(events, 2)
+	if len(sub) == 0 {
+		t.Fatal("empty extraction")
+	}
+	ids := map[uint64]bool{}
+	for _, ev := range sub {
+		ids[ev.Span] = true
+	}
+	if !ids[2] || !ids[3] {
+		t.Errorf("extraction missing query subtree spans: %v", ids)
+	}
+	if ids[1] {
+		t.Error("extraction leaked the unrelated insert span")
+	}
+	a, err := Analyze(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Roots) != 1 || a.Roots[0].ID != 2 {
+		t.Errorf("extracted trace roots = %+v, want span 2 only", a.Roots)
+	}
+	if ExtractSpan(events, 0) != nil {
+		t.Error("ExtractSpan(0) returned events")
 	}
 }
 

@@ -48,8 +48,20 @@ const (
 	TypeReply
 	// TypeNotify is one continuous-query push: Node is the notified sink.
 	TypeNotify
-	// TypeFault is a fault injection: Node is the failed node.
+	// TypeFault is a fault injection: Node is the failed node. Detail
+	// "crash" marks the instant a node's radio goes dead, "recover" the
+	// instant it rejoins — the boundaries latency attribution uses to
+	// build repair-interference windows.
 	TypeFault
+	// TypeWait marks an operation entering a service or station queue:
+	// Node is the queueing node, N the queue depth behind it.
+	TypeWait
+	// TypeServe marks the matching service start (the instant the node
+	// actually begins work); the Wait→Serve gap is pure queueing delay.
+	TypeServe
+	// TypeRepair marks repair-protocol progress on Node; Detail "done"
+	// closes the node's repair-interference window.
+	TypeRepair
 )
 
 // typeNames maps Type values to their wire names.
@@ -64,6 +76,9 @@ var typeNames = map[Type]string{
 	TypeReply:     "reply",
 	TypeNotify:    "notify",
 	TypeFault:     "fault",
+	TypeWait:      "wait",
+	TypeServe:     "serve",
+	TypeRepair:    "repair",
 }
 
 // String implements fmt.Stringer.
@@ -95,6 +110,10 @@ const (
 	OpSubscribe   Op = "subscribe"
 	OpUnsubscribe Op = "unsubscribe"
 	OpFail        Op = "fail"
+	// OpRetry is a recovery detour sub-span: an alternate-splitter
+	// re-plan, a mirror failover, or a reply re-send. Time spent inside
+	// an OpRetry subtree is attributed to the retry phase.
+	OpRetry Op = "retry"
 )
 
 // Event is one trace record. Node fields not applicable to the event type
@@ -146,12 +165,63 @@ type Tracer struct {
 	events []Event
 	stack  []uint64
 	nextID uint64
+
+	// limit > 0 makes the tracer a fixed-capacity flight recorder (see
+	// NewRing): once len(events) == limit, head is the ring's oldest
+	// slot and every append overwrites it.
+	limit   int
+	head    int
+	dropped uint64
 }
 
 // New returns an enabled Tracer stamping events from clock (nil clock:
 // all timestamps zero).
 func New(clock Clock) *Tracer {
 	return &Tracer{clock: clock}
+}
+
+// NewRing returns an enabled Tracer that keeps only the most recent
+// capacity events — an always-on flight recorder whose memory is bounded
+// regardless of run length. Once full, each append evicts the oldest
+// event and increments Dropped. Evicted traces analyze fine: Analyze
+// tolerates the resulting unbalanced streams and flags them Truncated.
+// capacity < 1 is treated as 1.
+func NewRing(clock Clock, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{clock: clock, limit: capacity}
+}
+
+// emit appends one event, evicting the oldest when the tracer is a full
+// ring.
+func (t *Tracer) emit(ev Event) {
+	if t.limit > 0 && len(t.events) == t.limit {
+		t.events[t.head] = ev
+		t.head++
+		if t.head == t.limit {
+			t.head = 0
+		}
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Capacity returns the ring capacity, or 0 for an unbounded tracer.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.limit
+}
+
+// Dropped returns the number of events evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Enabled reports whether the tracer records anything.
@@ -180,12 +250,68 @@ func (t *Tracer) Begin(op Op, node int, detail string) uint64 {
 	}
 	t.nextID++
 	id := t.nextID
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T: t.now(), Span: id, Type: TypeSpanStart, Op: op,
 		Parent: t.current(), From: -1, To: -1, Node: node, Detail: detail,
 	})
 	t.stack = append(t.stack, id)
 	return id
+}
+
+// BeginAt opens a span for op at node as a child of parent, without
+// touching the ambient span stack. It is the span opener for operations
+// whose lifetime extends across scheduler callbacks (actor-engine
+// queries, load-harness operations): the caller keeps the id, brackets
+// each callback with PushSpan/PopSpan, and closes with EndSpan. On the
+// nil tracer it returns 0.
+func (t *Tracer) BeginAt(parent uint64, op Op, node int, detail string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	id := t.nextID
+	t.emit(Event{
+		T: t.now(), Span: id, Type: TypeSpanStart, Op: op,
+		Parent: parent, From: -1, To: -1, Node: node, Detail: detail,
+	})
+	return id
+}
+
+// EndSpan closes span id at the current clock, regardless of the span
+// stack. EndSpan of 0 is a no-op.
+func (t *Tracer) EndSpan(id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.emit(Event{
+		T: t.now(), Span: id, Type: TypeSpanEnd, From: -1, To: -1, Node: -1,
+	})
+}
+
+// PushSpan makes id the ambient span for subsequently recorded events.
+// Balance with PopSpan. No-op on the nil tracer.
+func (t *Tracer) PushSpan(id uint64) {
+	if t == nil {
+		return
+	}
+	t.stack = append(t.stack, id)
+}
+
+// PopSpan undoes the innermost PushSpan (or Begin). Unbalanced calls are
+// no-ops.
+func (t *Tracer) PopSpan() {
+	if t == nil || len(t.stack) == 0 {
+		return
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+// CurrentSpan returns the innermost ambient span id, or 0.
+func (t *Tracer) CurrentSpan() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.current()
 }
 
 // End closes the innermost open span. Unbalanced End calls are no-ops.
@@ -195,7 +321,7 @@ func (t *Tracer) End() {
 	}
 	id := t.stack[len(t.stack)-1]
 	t.stack = t.stack[:len(t.stack)-1]
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T: t.now(), Span: id, Type: TypeSpanEnd, From: -1, To: -1, Node: -1,
 	})
 }
@@ -205,7 +331,7 @@ func (t *Tracer) Hop(from, to int, kind string, bytes, frames int, lost bool) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T: t.now(), Span: t.current(), Type: TypeHop,
 		From: from, To: to, Kind: kind, Bytes: bytes, Frames: frames,
 		Lost: lost, Node: -1,
@@ -218,7 +344,7 @@ func (t *Tracer) Broadcast(from int, kind string, bytes, frames, n, lost int) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T: t.now(), Span: t.current(), Type: TypeBroadcast,
 		From: from, To: -1, Kind: kind, Bytes: bytes, Frames: frames,
 		Node: -1, N: n, NLost: lost,
@@ -231,8 +357,24 @@ func (t *Tracer) Record(typ Type, node, n int, detail string) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		T: t.now(), Span: t.current(), Type: typ,
+		From: -1, To: -1, Node: node, N: n, Detail: detail,
+	})
+}
+
+// RecordAt is Record with an explicit timestamp. It lets an
+// instrumentation site stamp an event at a known virtual time (a service
+// start computed from a busy-until watermark) without scheduling a
+// callback for the sole purpose of recording it — keeping traced and
+// untraced runs byte-identical in event order. Consumers must not assume
+// the event slice is sorted by T.
+func (t *Tracer) RecordAt(at time.Duration, typ Type, node, n int, detail string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		T: at, Span: t.current(), Type: typ,
 		From: -1, To: -1, Node: node, N: n, Detail: detail,
 	})
 }
@@ -245,16 +387,24 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// Events returns the recorded events. The slice is owned by the tracer;
-// callers must not mutate it.
+// Events returns the recorded events in append order. The slice is owned
+// by the tracer; callers must not mutate it. A wrapped ring allocates a
+// fresh ordered copy (oldest surviving event first).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	if t.dropped == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
 }
 
-// Reset drops all recorded events and open spans, keeping the clock.
+// Reset drops all recorded events and open spans, keeping the clock and
+// ring capacity.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
@@ -262,4 +412,6 @@ func (t *Tracer) Reset() {
 	t.events = t.events[:0]
 	t.stack = t.stack[:0]
 	t.nextID = 0
+	t.head = 0
+	t.dropped = 0
 }
