@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib smoke-bench micro-bench loadtest check bench bench-compare golden
+.PHONY: build test vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib cover-sim smoke-bench micro-bench loadtest check bench bench-compare golden
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test ./internal/antientropy -run=NONE -fuzz=FuzzReconcileDecode -fuzztime=10s
 	$(GO) test ./internal/node -run=NONE -fuzz=FuzzRepairPackets -fuzztime=10s
 	$(GO) test ./internal/attrib -run=NONE -fuzz=FuzzAutopsy -fuzztime=10s
+	$(GO) test ./internal/sim -run=NONE -fuzz=FuzzSchedulerOrdering -fuzztime=10s
 
 # Race-enabled sweep of the chaos seeds (fault injection, churn
 # experiment, pool/dim repair paths).
@@ -106,6 +107,18 @@ cover-attrib:
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || \
 		{ echo "internal/attrib coverage $$total% below the 80% gate"; exit 1; }
 
+# The event kernel orders every message the actor engine ever delivers;
+# a wrong branch in the ladder queue silently reorders simulations
+# instead of crashing them. Hold it to 90% — stricter than the 80% the
+# other kernels get, because the property/fuzz suite covers it that
+# deeply anyway.
+cover-sim:
+	$(GO) test -coverprofile=/tmp/sim.cover ./internal/sim
+	@total=$$($(GO) tool cover -func=/tmp/sim.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/sim coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 90.0) ? 0 : 1 }' || \
+		{ echo "internal/sim coverage $$total% below the 90% gate"; exit 1; }
+
 # Quick benchmark smoke: the disabled-registry hot path must stay
 # allocation-free (same for the disabled-tracer autopsy path), the
 # exposition writer must run, and the headline simulation benchmarks
@@ -130,6 +143,9 @@ micro-bench:
 	$(GO) test . -run=NONE -benchmem -benchtime=2000000x \
 		-bench='^BenchmarkTransmitTracerDisabled$$|^BenchmarkSimulationFacade$$|^BenchmarkTheorem31InsertCell$$' 2>&1 \
 		| tee /tmp/micro-bench.out
+	$(GO) test ./internal/sim -run=NONE -benchmem -benchtime=2000000x \
+		-bench='^BenchmarkSchedulerChurn$$|^BenchmarkSchedulerSameTickBurst$$' 2>&1 \
+		| tee -a /tmp/micro-bench.out
 	$(GO) run ./cmd/benchjson -gate bench_micro_baseline.json -tolerance 10 < /tmp/micro-bench.out
 
 # Sustained-load smoke: the seeded quick poolload sweeps must reproduce
@@ -139,7 +155,7 @@ micro-bench:
 loadtest:
 	$(GO) test -count=1 ./cmd/poolload ./internal/load
 
-check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib smoke-bench micro-bench loadtest
+check: build vet race race-parallel fuzz chaos conformance cover-ght cover-metrics cover-antientropy cover-node cover-trace cover-attrib cover-sim smoke-bench micro-bench loadtest
 
 # Full benchmark sweep, archived as machine-readable JSON
 # (BENCH_<date>.json) via cmd/benchjson for cross-commit diffing, with

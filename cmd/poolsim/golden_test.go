@@ -27,6 +27,7 @@ func TestGolden(t *testing.T) {
 		{"churn", []string{"-quick", "churn"}},
 		{"resilience-node", []string{"-quick", "-backend=node", "-repair", "resilience"}},
 		{"loadbalance", []string{"-quick", "loadbalance"}},
+		{"asyncscale", []string{"-quick", "asyncscale"}},
 		{"saturation", []string{"-quick", "saturation"}},
 	}
 	for _, tc := range cases {

@@ -8,7 +8,7 @@
 // Experiments: fig6a, fig6b, fig7a, fig7b, insert, hotspot, poolsize,
 // pointquery, aggregate, energy, loadbalance, fragmentation,
 // dissemination, resilience, churn, dimsweep, variance, placement,
-// eventload, latency, asynclatency, lossy, saturation, all.
+// eventload, latency, asynclatency, asyncscale, lossy, saturation, all.
 //
 // Flags:
 //
@@ -84,6 +84,9 @@ var experiments = map[string]runner{
 	},
 	"latency":      experiment.Latency,
 	"asynclatency": experiment.AsyncLatency,
+	"asyncscale": func(cfg experiment.Config) (*experiment.Result, error) {
+		return experiment.AsyncScale(cfg, []int{900, 1800, 3600})
+	},
 	"lossy": func(cfg experiment.Config) (*experiment.Result, error) {
 		return experiment.Lossy(cfg, []float64{0, 0.1, 0.2, 0.3})
 	},
@@ -103,7 +106,7 @@ var experiments = map[string]runner{
 var order = []string{
 	"fig6a", "fig6b", "fig7a", "fig7b",
 	"insert", "hotspot", "poolsize", "pointquery", "aggregate",
-	"energy", "loadbalance", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "lossy", "saturation",
+	"energy", "loadbalance", "fragmentation", "dissemination", "resilience", "churn", "dimsweep", "variance", "placement", "eventload", "latency", "asynclatency", "asyncscale", "lossy", "saturation",
 }
 
 func run(args []string, out io.Writer) error {

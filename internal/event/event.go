@@ -292,8 +292,20 @@ func (q Query) String() string {
 }
 
 // Filter returns the subset of events matching q, preserving order.
+// The result is sized exactly in one pass over the candidates before a
+// second pass fills it — one allocation per non-empty result instead of
+// append-doubling, on the hottest path of every query resolution.
 func (q Query) Filter(events []Event) []Event {
-	var out []Event
+	n := 0
+	for _, e := range events {
+		if q.Matches(e) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
 	for _, e := range events {
 		if q.Matches(e) {
 			out = append(out, e)

@@ -184,20 +184,39 @@ func (l *Layout) index() {
 		l.buckets[k] = append(l.buckets[k], i)
 	}
 
+	// Adjacency is built in two passes into one flat backing array —
+	// count degrees, then fill — so a layout costs a constant number of
+	// allocations instead of per-node append-doubling.
 	r2 := r * r
-	l.neighbors = make([][]int, len(l.Positions))
+	n := len(l.Positions)
+	total := 0
 	for i, p := range l.Positions {
 		k := l.bucketOf(p)
-		var nbrs []int
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for _, j := range l.buckets[bucketKey{k.x + dx, k.y + dy}] {
 					if j != i && p.Dist2(l.Positions[j]) <= r2 {
-						nbrs = append(nbrs, j)
+						total++
 					}
 				}
 			}
 		}
+	}
+	flat := make([]int, 0, total)
+	l.neighbors = make([][]int, n)
+	for i, p := range l.Positions {
+		k := l.bucketOf(p)
+		from := len(flat)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range l.buckets[bucketKey{k.x + dx, k.y + dy}] {
+					if j != i && p.Dist2(l.Positions[j]) <= r2 {
+						flat = append(flat, j)
+					}
+				}
+			}
+		}
+		nbrs := flat[from:len(flat):len(flat)]
 		sort.Ints(nbrs)
 		l.neighbors[i] = nbrs
 	}

@@ -11,17 +11,38 @@ import (
 // on the virtual clock. Operations submitted while the server is busy
 // wait their turn; the queueing delay is what turns offered overload
 // into tail latency.
+//
+// Completions ride the scheduler's typed-event path: the station is a
+// sim.Handler and each Submit schedules one typed event, with the
+// pending completion held in a station-local FIFO ring — single-server
+// FIFO service means completions fire in submission order, so no
+// per-operation closure is needed.
 type Station struct {
 	sched     *sim.Scheduler
+	hid       sim.HandlerID
 	busyUntil time.Duration
 	depth     int
 	maxDepth  int
 	served    uint64
+
+	// pending completions in submission (= completion) order.
+	q    []pendingOp
+	head int
+}
+
+// pendingOp is one queued completion: the caller's callback and the
+// wait/service split it will be reported with.
+type pendingOp struct {
+	done    func(wait, service time.Duration)
+	wait    time.Duration
+	service time.Duration
 }
 
 // NewStation returns an idle station on sched.
 func NewStation(sched *sim.Scheduler) *Station {
-	return &Station{sched: sched}
+	st := &Station{sched: sched}
+	st.hid = sched.Register(st)
+	return st
 }
 
 // Submit enqueues work of the given service demand. done fires on the
@@ -42,15 +63,25 @@ func (st *Station) Submit(demand time.Duration, done func(wait, service time.Dur
 	if st.depth > st.maxDepth {
 		st.maxDepth = st.depth
 	}
-	wait := start - now
-	// busyUntil ≥ now, so At cannot fail.
-	_ = st.sched.At(st.busyUntil, func() {
-		st.depth--
-		st.served++
-		if done != nil {
-			done(wait, demand)
-		}
-	})
+	st.q = append(st.q, pendingOp{done: done, wait: start - now, service: demand})
+	// busyUntil ≥ now, so AtEvent cannot fail.
+	_ = st.sched.AtEvent(st.busyUntil, st.hid, 0, 0, 0)
+}
+
+// HandleEvent completes the oldest in-flight operation — the
+// sim.Handler side of Submit's typed completion event.
+func (st *Station) HandleEvent(uint8, uint64, uint64) {
+	op := st.q[st.head]
+	st.q[st.head] = pendingOp{}
+	st.head++
+	if st.head == len(st.q) {
+		st.q, st.head = st.q[:0], 0
+	}
+	st.depth--
+	st.served++
+	if op.done != nil {
+		op.done(op.wait, op.service)
+	}
 }
 
 // Depth returns the number of operations queued or in service.

@@ -597,6 +597,22 @@ func (n *Network) Send(from, to int, kind Kind, payloadBytes int, deliver func()
 	return nil
 }
 
+// SendEvent is Send on the scheduler's typed-event path: one hop
+// transmission, then a typed arrival event for a registered handler
+// after the hop latency — no delivery closure, no per-hop allocation.
+// It requires an attached scheduler (WithScheduler); protocols that
+// need synchronous fallback keep using Send.
+func (n *Network) SendEvent(from, to int, kind Kind, payloadBytes int, h sim.HandlerID, op uint8, a, b uint64) error {
+	if n.sched == nil {
+		return fmt.Errorf("network: SendEvent needs an attached scheduler")
+	}
+	if err := n.Transmit(from, to, kind, payloadBytes); err != nil {
+		return err
+	}
+	n.sched.AfterEvent(n.hopLatency, h, op, a, b)
+	return nil
+}
+
 // Messages returns the running transmission count for one traffic kind.
 // Unlike Snapshot, it allocates nothing: per-query cost loops take the
 // before/after difference of the kinds they care about directly.

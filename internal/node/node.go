@@ -135,6 +135,14 @@ type Engine struct {
 	seq  uint64
 	errs []error
 
+	// In-flight exchange state for the typed-event hot path: sendTask
+	// slots recycled through a free list, addressed by index in the
+	// scheduler's event arguments. hid is this engine's handler id on
+	// the scheduler.
+	tasks    []sendTask
+	taskFree int32
+	hid      sim.HandlerID
+
 	// tracer, when non-nil, records causal spans for latency attribution
 	// (WithTracer).
 	tracer *trace.Tracer
@@ -183,6 +191,37 @@ type servedCell struct {
 	matches int
 }
 
+// sendTask is the in-flight state of one hop-by-hop exchange, held by
+// value in the engine's task arena so the per-hop scheduler events are
+// a handler id plus an index — no per-hop closures. The path slice is
+// kept across recycling as the route scratch buffer.
+type sendTask struct {
+	path    []int
+	deliver func()
+	fail    func(error)
+	err     error
+	span    uint64
+	to      int32
+	hop     int32
+	attempt int32
+	size    int32
+	kind    network.Kind
+	next    int32 // free-list link, index+1 (0 terminates)
+}
+
+// Typed-event op codes for Engine.HandleEvent. One exchange advances
+// through opArrive (frame lands after the hop latency), opResend (ARQ
+// retransmit timer), opServe (destination's serial service queue
+// reaches the packet); opLocal and opRouteFail are the zero-hop entry
+// points for self-sends and unroutable destinations.
+const (
+	opArrive uint8 = iota
+	opResend
+	opLocal
+	opRouteFail
+	opServe
+)
+
 // NewEngine builds the actor network. Pivot placement mirrors
 // pool.New's, so the same rng seed yields the same Pool layout as the
 // synchronous system.
@@ -229,6 +268,7 @@ func NewEngine(net *network.Network, router *gpsr.Router, sched *sim.Scheduler, 
 		repairHist:   stats.NewIntHistogram(),
 		ops:          make(map[uint64]*operation),
 	}
+	e.hid = sched.Register(e)
 	for i := range e.store {
 		e.store[i] = make(map[storeKey][]event.Event)
 	}
@@ -285,21 +325,6 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 		})
 }
 
-// spanned returns fn bracketed so it executes with span as the ambient
-// tracer span — the bridge that carries span identity across scheduler
-// callbacks. With tracing off (or no span to carry) fn is returned
-// unchanged, so the disabled path allocates nothing.
-func (e *Engine) spanned(span uint64, fn func()) func() {
-	if e.tracer == nil || span == 0 {
-		return fn
-	}
-	return func() {
-		e.tracer.PushSpan(span)
-		fn()
-		e.tracer.PopSpan()
-	}
-}
-
 // within runs fn immediately with span as the ambient tracer span.
 func (e *Engine) within(span uint64, fn func()) {
 	if e.tracer == nil || span == 0 {
@@ -331,96 +356,205 @@ func (e *Engine) Pools() []pool.Pool { return e.pools }
 // non-degradable fault is always recorded in Errors.
 func (e *Engine) send(from, to int, kind network.Kind, size int, deliver func(), fail func(error)) {
 	// The exchange belongs to whatever span is ambient at send time;
-	// every scheduled continuation re-enters it so per-hop records and
+	// every typed continuation re-enters it so per-hop records and
 	// downstream sends attribute correctly.
-	span := e.tracer.CurrentSpan()
 	e.mMailbox.Add(to, 1)
-	failed := func(err error) {
-		e.mMailbox.Add(to, -1)
-		e.mSendErrs.Inc()
-		if !dcs.IsDegradable(err) {
-			e.errs = append(e.errs, err)
-		}
-		if fail != nil {
-			fail(err)
-		}
-	}
-	delivered := func() {
-		e.process(to, func() {
-			// The frame was acked into the receiver's queue, but a mote
-			// that dies before servicing it takes the queue down with
-			// its RAM: the exchange is lost, and the sender's only
-			// signal is silence.
-			if !e.net.Alive(to) {
-				failed(fmt.Errorf("node: %d died with the packet queued: %w", to, dcs.ErrUnreachable))
-				return
-			}
-			e.mMailbox.Add(to, -1)
-			deliver()
-		})
-	}
+	ti := e.allocTask()
+	t := &e.tasks[ti]
+	t.span = e.tracer.CurrentSpan()
+	t.to = int32(to)
+	t.kind, t.size = kind, int32(size)
+	t.deliver, t.fail = deliver, fail
+	t.hop, t.attempt = 0, 1
 	if from == to {
-		e.sched.After(0, e.spanned(span, delivered))
+		e.sched.AfterEvent(0, e.hid, opLocal, uint64(ti), 0)
 		return
 	}
-	res, err := e.router.RouteToNode(from, to)
+	res, err := e.router.RouteToNodeBuf(from, to, t.path[:0])
 	if err != nil {
 		wrapped := fmt.Errorf("node: send %d→%d: %w", from, to, err)
 		if errors.Is(err, gpsr.ErrUnreachable) {
 			wrapped = fmt.Errorf("node: send %d→%d: %v: %w", from, to, err, dcs.ErrUnreachable)
 		}
-		e.sched.After(0, e.spanned(span, func() { failed(wrapped) }))
+		t.err = wrapped
+		e.sched.AfterEvent(0, e.hid, opRouteFail, uint64(ti), 0)
 		return
 	}
-	path := res.Path
-	var hop func(i, attempt int)
-	hop = func(i, attempt int) {
-		if i >= len(path)-1 {
-			delivered()
+	t.path = res.Path
+	e.hopStep(ti)
+}
+
+// HandleEvent advances one exchange on a typed scheduler event — the
+// engine's side of the sim.Handler contract. Every continuation runs
+// with the exchange's span ambient, the bridge that carries span
+// identity across scheduler callbacks.
+func (e *Engine) HandleEvent(op uint8, a, _ uint64) {
+	ti := int32(a)
+	t := &e.tasks[ti]
+	traced := e.tracer != nil && t.span != 0
+	if traced {
+		e.tracer.PushSpan(t.span)
+	}
+	switch op {
+	case opArrive:
+		// The frame arrives now. A receiver that died while it was on
+		// the air never takes it — reception needs a powered radio at
+		// arrival time, not just at transmit time — and the sender,
+		// hearing no ack, retransmits.
+		next := t.path[t.hop+1]
+		if !e.net.Alive(next) {
+			if int(t.attempt) >= dcs.DefaultMaxRetransmissions {
+				e.failTask(ti, fmt.Errorf("node: hop %d→%d died mid-flight: %w",
+					t.path[t.hop], next, dcs.ErrUnreachable))
+				break
+			}
+			t.attempt++
+			e.hopStep(ti)
+			break
+		}
+		t.hop++
+		t.attempt = 1
+		e.hopStep(ti)
+	case opResend:
+		e.hopStep(ti)
+	case opLocal:
+		e.deliverTask(ti)
+	case opRouteFail:
+		err := t.err
+		t.err = nil
+		e.failTask(ti, err)
+	case opServe:
+		e.svcDepth[t.to]--
+		e.finishDeliver(ti)
+	}
+	if traced {
+		e.tracer.PopSpan()
+	}
+}
+
+// hopStep transmits the task's current hop and schedules its arrival,
+// its ARQ retransmission, or its failure.
+func (e *Engine) hopStep(ti int32) {
+	t := &e.tasks[ti]
+	if int(t.hop) >= len(t.path)-1 {
+		e.deliverTask(ti)
+		return
+	}
+	from, next := t.path[t.hop], t.path[t.hop+1]
+	err := e.net.Transmit(from, next, t.kind, int(t.size))
+	switch {
+	case err == nil:
+		e.sched.AfterEvent(e.hopLatency, e.hid, opArrive, uint64(ti), 0)
+	case errors.Is(err, network.ErrFrameLost):
+		if int(t.attempt) >= dcs.DefaultMaxRetransmissions {
+			e.failTask(ti, fmt.Errorf("node: hop %d→%d dropped after %d attempts: %w",
+				from, next, t.attempt, dcs.ErrHopExhausted))
 			return
 		}
-		err := e.net.Transmit(path[i], path[i+1], kind, size)
-		switch {
-		case err == nil:
-			e.sched.After(e.hopLatency, e.spanned(span, func() {
-				// The frame arrives now. A receiver that died while it
-				// was on the air never takes it — reception needs a
-				// powered radio at arrival time, not just at transmit
-				// time — and the sender, hearing no ack, retransmits.
-				if !e.net.Alive(path[i+1]) {
-					if attempt >= dcs.DefaultMaxRetransmissions {
-						failed(fmt.Errorf("node: hop %d→%d died mid-flight: %w",
-							path[i], path[i+1], dcs.ErrUnreachable))
-						return
-					}
-					hop(i, attempt+1)
-					return
-				}
-				hop(i+1, 1)
-			}))
-		case errors.Is(err, network.ErrFrameLost):
-			if attempt >= dcs.DefaultMaxRetransmissions {
-				failed(fmt.Errorf("node: hop %d→%d dropped after %d attempts: %w",
-					path[i], path[i+1], attempt, dcs.ErrHopExhausted))
-				return
-			}
-			e.sched.After(e.hopLatency, e.spanned(span, func() { hop(i, attempt+1) }))
-		case errors.Is(err, network.ErrNodeDown):
-			// A dead neighbour is indistinguishable from frame loss at
-			// the link layer — no ack comes back either way — so the
-			// relay burns its whole retransmission budget before giving
-			// up. Failure detection costs the full ARQ timeout; it is
-			// not a free NACK from a corpse.
-			if attempt >= dcs.DefaultMaxRetransmissions {
-				failed(fmt.Errorf("node: hop %d→%d: %v: %w", path[i], path[i+1], err, dcs.ErrUnreachable))
-				return
-			}
-			e.sched.After(e.hopLatency, e.spanned(span, func() { hop(i, attempt+1) }))
-		default:
-			failed(fmt.Errorf("node: transmit: %w", err))
+		t.attempt++
+		e.sched.AfterEvent(e.hopLatency, e.hid, opResend, uint64(ti), 0)
+	case errors.Is(err, network.ErrNodeDown):
+		// A dead neighbour is indistinguishable from frame loss at
+		// the link layer — no ack comes back either way — so the
+		// relay burns its whole retransmission budget before giving
+		// up. Failure detection costs the full ARQ timeout; it is
+		// not a free NACK from a corpse.
+		if int(t.attempt) >= dcs.DefaultMaxRetransmissions {
+			e.failTask(ti, fmt.Errorf("node: hop %d→%d: %v: %w", from, next, err, dcs.ErrUnreachable))
+			return
 		}
+		t.attempt++
+		e.sched.AfterEvent(e.hopLatency, e.hid, opResend, uint64(ti), 0)
+	default:
+		e.failTask(ti, fmt.Errorf("node: transmit: %w", err))
 	}
-	hop(0, 1)
+}
+
+// deliverTask runs once the last hop has landed: it queues the packet
+// on the destination's serial service queue (service mode) or completes
+// the delivery immediately.
+func (e *Engine) deliverTask(ti int32) {
+	t := &e.tasks[ti]
+	if e.svcTime <= 0 {
+		e.finishDeliver(ti)
+		return
+	}
+	to := int(t.to)
+	start := e.sched.Now()
+	if e.svcBusy[to] > start {
+		start = e.svcBusy[to]
+	}
+	// The queue-entry record at now and the service-start record at the
+	// (already known) busy-until watermark bracket pure queueing delay
+	// for latency attribution — no extra scheduler event needed.
+	if span := e.tracer.CurrentSpan(); span != 0 {
+		e.tracer.Record(trace.TypeWait, to, e.svcDepth[to], "")
+		e.tracer.RecordAt(start, trace.TypeServe, to, 0, "")
+	}
+	e.svcBusy[to] = start + e.svcTime
+	e.svcDepth[to]++
+	if e.svcDepth[to] > e.svcMaxDepth {
+		e.svcMaxDepth = e.svcDepth[to]
+	}
+	// svcBusy[to] ≥ now, so AtEvent cannot fail.
+	_ = e.sched.AtEvent(e.svcBusy[to], e.hid, opServe, uint64(ti), 0)
+}
+
+// finishDeliver completes a delivery whose service (if any) is done.
+// The frame was acked into the receiver's queue, but a mote that dies
+// before servicing it takes the queue down with its RAM: the exchange
+// is lost, and the sender's only signal is silence.
+func (e *Engine) finishDeliver(ti int32) {
+	t := &e.tasks[ti]
+	to := int(t.to)
+	if !e.net.Alive(to) {
+		e.failTask(ti, fmt.Errorf("node: %d died with the packet queued: %w", to, dcs.ErrUnreachable))
+		return
+	}
+	e.mMailbox.Add(to, -1)
+	deliver := t.deliver
+	e.freeTask(ti)
+	if deliver != nil {
+		deliver()
+	}
+}
+
+// failTask settles an exchange as lost at the current virtual time,
+// recycling its task before the caller's fail policy runs so recursive
+// sends reuse the slot.
+func (e *Engine) failTask(ti int32, err error) {
+	t := &e.tasks[ti]
+	e.mMailbox.Add(int(t.to), -1)
+	e.mSendErrs.Inc()
+	if !dcs.IsDegradable(err) {
+		e.errs = append(e.errs, err)
+	}
+	fail := t.fail
+	e.freeTask(ti)
+	if fail != nil {
+		fail(err)
+	}
+}
+
+// allocTask takes a task slot off the free list, growing the arena when
+// none are free.
+func (e *Engine) allocTask() int32 {
+	if e.taskFree != 0 {
+		ti := e.taskFree - 1
+		e.taskFree = e.tasks[ti].next
+		return ti
+	}
+	e.tasks = append(e.tasks, sendTask{})
+	return int32(len(e.tasks) - 1)
+}
+
+// freeTask recycles a task slot, dropping callback and error references
+// but keeping the path buffer for route reuse.
+func (e *Engine) freeTask(ti int32) {
+	t := &e.tasks[ti]
+	t.deliver, t.fail, t.err = nil, nil, nil
+	t.next = e.taskFree
+	e.taskFree = ti + 1
 }
 
 // placement runs the §4.1 tie rule, identical to the synchronous

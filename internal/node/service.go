@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"pooldcs/internal/event"
-	"pooldcs/internal/trace"
 )
 
 // EnableService switches the engine into service mode: every delivered
@@ -24,36 +23,6 @@ func (e *Engine) EnableService(perPacket time.Duration) {
 		e.svcBusy = make([]time.Duration, e.layout.N())
 		e.svcDepth = make([]int, e.layout.N())
 	}
-}
-
-// process runs fn once the destination's serial service queue reaches
-// this packet (service mode), or immediately (default).
-func (e *Engine) process(to int, fn func()) {
-	if e.svcTime <= 0 {
-		fn()
-		return
-	}
-	start := e.sched.Now()
-	if e.svcBusy[to] > start {
-		start = e.svcBusy[to]
-	}
-	// The queue-entry record at now and the service-start record at the
-	// (already known) busy-until watermark bracket pure queueing delay
-	// for latency attribution — no extra scheduler event needed.
-	if span := e.tracer.CurrentSpan(); span != 0 {
-		e.tracer.Record(trace.TypeWait, to, e.svcDepth[to], "")
-		e.tracer.RecordAt(start, trace.TypeServe, to, 0, "")
-	}
-	e.svcBusy[to] = start + e.svcTime
-	e.svcDepth[to]++
-	if e.svcDepth[to] > e.svcMaxDepth {
-		e.svcMaxDepth = e.svcDepth[to]
-	}
-	// svcBusy[to] ≥ now, so At cannot fail.
-	_ = e.sched.At(e.svcBusy[to], e.spanned(e.tracer.CurrentSpan(), func() {
-		e.svcDepth[to]--
-		fn()
-	}))
 }
 
 // QueueDepth returns the number of packets queued or in service at a

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// xorshift64 is a tiny deterministic generator for benchmark timestamp
+// draws; using it instead of rng.Source keeps the benchmarks free of
+// dependencies and of measurement noise from the generator itself.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// BenchmarkSchedulerChurn is the classic hold model: a steady-state
+// population of pending events where every fired event schedules a
+// replacement a short, pseudorandom delay ahead — the shape of the
+// per-hop delivery chains that dominate the experiment workloads. One
+// iteration is one fire plus one schedule.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	const pending = 4096
+	rnd := xorshift64(0x9E3779B97F4A7C15)
+	delay := func() time.Duration {
+		// 0–16ms, the per-hop latency scale.
+		return time.Duration(rnd.next() & (uint64(16*time.Millisecond) - 1))
+	}
+	var fired uint64
+	fn := func() { fired++ }
+	for i := 0; i < pending; i++ {
+		s.After(delay(), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+		s.After(delay(), fn)
+	}
+}
+
+// BenchmarkSchedulerSameTickBurst measures batched same-tick delivery:
+// every iteration schedules a burst of events at one timestamp — a
+// splitter fan-out, a broadcast round — and drains it.
+func BenchmarkSchedulerSameTickBurst(b *testing.B) {
+	s := NewScheduler()
+	const burst = 64
+	var fired uint64
+	fn := func() { fired++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			s.After(time.Millisecond, fn)
+		}
+		s.Run()
+	}
+}

@@ -1,25 +1,129 @@
 // Package sim provides a minimal deterministic discrete-event simulation
-// kernel: a virtual clock and an event queue.
+// kernel: a virtual clock and a pending-event structure.
 //
 // The network layer schedules per-hop message deliveries on a Scheduler and
 // protocol code schedules timers (beacons, workload-sharing checks). Events
 // at equal timestamps fire in scheduling order, so runs are reproducible.
+//
+// # Event storage
+//
+// Events live in a slab-grown arena of value-typed slots addressed by
+// index and recycled through a free list — no per-event heap object, no
+// interface boxing, no GC pressure from the pending set. An event is
+// either a typed event (a registered Handler, an op code, and two
+// integer arguments — the hot per-hop delivery shape) or a closure
+// scheduled through At/After, the fallback for cold callers like
+// beacons and chaos plans.
+//
+// # Ordering structure
+//
+// The pending set is a ladder queue rather than a binary heap. Four
+// tiers, nearest first:
+//
+//   - batch: the events at the timestamp currently firing, drained as a
+//     same-tick run into a reused scratch slice before dispatch.
+//   - bottom: a small sorted run of imminent events, consumed front to
+//     back.
+//   - wheel: nBuckets buckets spanning [start, end) in width-sized
+//     slices of virtual time. A push appends to its bucket in O(1);
+//     buckets are sorted lazily, one bucket at a time, as the clock
+//     reaches them. A bucket too large to sort cheaply is re-spanned
+//     across the whole wheel at finer width (the ladder-queue rung
+//     spawn), with the remaining coarse buckets overflowing to top.
+//   - top: an unsorted overflow list for events beyond the wheel's
+//     horizon. When everything nearer is exhausted the wheel re-spans
+//     over top's exact [min, max] range and absorbs all of it.
+//
+// Push and pop are O(1) amortized and allocation-free in steady state.
+// Ordering is by (timestamp, sequence number); every lazy sort uses the
+// same key, and untouched append paths preserve sequence order by
+// construction, so the determinism contract — equal timestamps fire in
+// scheduling order — holds bit-for-bit with the heap kernel this
+// replaced.
 package sim
 
 import (
-	"container/heap"
 	"errors"
+	"math"
+	"slices"
 	"time"
 )
 
-// Scheduler owns the virtual clock and the pending-event queue.
+const (
+	// nBuckets is the wheel fan-out. 256 keeps the bucket array hot in
+	// cache while one re-span narrows width by two orders of magnitude.
+	nBuckets = 256
+	// sortThreshold is the largest bucket sorted directly into bottom; a
+	// bigger bucket (that spans more than one timestamp) is re-spanned
+	// across the wheel instead.
+	sortThreshold = 512
+)
+
+// Handler consumes typed events. Implementations dispatch on op — a
+// caller-defined enum — with a and b carrying packed arguments such as
+// an arena index of in-flight exchange state.
+type Handler interface {
+	HandleEvent(op uint8, a, b uint64)
+}
+
+// HandlerID names a Handler registered on a Scheduler.
+type HandlerID int32
+
+// evSlot is one arena slot: a pending event by value.
+type evSlot struct {
+	at   time.Duration
+	seq  uint64
+	a, b uint64
+	fn   func() // closure events; nil for typed events
+	next int32  // free-list link, index+1 (0 terminates)
+	hid  HandlerID
+	op   uint8
+}
+
+// Scheduler owns the virtual clock and the pending-event ladder queue.
+// The zero value is ready to use; NewScheduler is the conventional
+// constructor.
 type Scheduler struct {
-	now   time.Duration
-	queue eventQueue
-	seq   uint64
+	now time.Duration
+	seq uint64
 	// executed counts events that have fired; used by tests and as a
 	// runaway guard in RunUntil.
 	executed uint64
+	size     int
+
+	// Arena.
+	slots []evSlot
+	free  int32 // free-list head, index+1 (0 = empty)
+
+	// batch tier: slot indices at exactly batchTime, firing now.
+	batch     []int32
+	batchPos  int
+	batchTime time.Duration
+
+	// bottom tier: slot indices sorted by (at, seq), consumed from
+	// bottomPos. All bottom timestamps are < low.
+	bottom    []int32
+	bottomPos int
+
+	// wheel tier: bucket i spans [start+i*width, start+(i+1)*width).
+	// Buckets below cur are consumed. Pushes with t in [low, end) land
+	// in their bucket; end may be tighter than start+nBuckets*width
+	// when the wheel was spanned over an exact event range.
+	buckets [nBuckets][]int32
+	inWheel int
+	cur     int
+	start   time.Duration
+	width   time.Duration
+	low     time.Duration
+	end     time.Duration
+
+	// top tier: unsorted slot indices with t >= end.
+	top []int32
+
+	// scratch holds a bucket being re-spanned.
+	scratch []int32
+
+	handlers []Handler
 }
 
 // NewScheduler returns a Scheduler with the clock at zero.
@@ -34,18 +138,32 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events waiting to fire.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return s.size }
+
+// Register adds h to the scheduler's handler table and returns its id
+// for use with AtEvent/AfterEvent.
+func (s *Scheduler) Register(h Handler) HandlerID {
+	s.handlers = append(s.handlers, h)
+	return HandlerID(len(s.handlers) - 1)
+}
 
 // ErrPast is returned when an event is scheduled before the current time.
 var ErrPast = errors.New("sim: cannot schedule event in the past")
 
-// At schedules fn to run at absolute virtual time t.
+// At schedules fn to run at absolute virtual time t. It is the closure
+// fallback of the typed-event API: cold callers keep their natural
+// closure shape, hot per-hop paths use AtEvent to stay allocation-free.
+// The error path is side-effect free — a rejected event consumes no
+// sequence number and no arena slot.
 func (s *Scheduler) At(t time.Duration, fn func()) error {
 	if t < s.now {
 		return ErrPast
 	}
+	idx := s.alloc()
 	s.seq++
-	heap.Push(&s.queue, &item{at: t, seq: s.seq, fn: fn})
+	sl := &s.slots[idx]
+	sl.at, sl.seq, sl.fn = t, s.seq, fn
+	s.push(idx, t)
 	return nil
 }
 
@@ -59,16 +177,65 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 	_ = s.At(s.now+d, fn)
 }
 
-// Step fires the earliest pending event and returns true, or returns false
-// when the queue is empty.
-func (s *Scheduler) Step() bool {
-	if s.queue.Len() == 0 {
-		return false
+// AtEvent schedules a typed event for handler h at absolute virtual
+// time t: no closure, no per-event allocation. Like At, the error path
+// is side-effect free.
+func (s *Scheduler) AtEvent(t time.Duration, h HandlerID, op uint8, a, b uint64) error {
+	if t < s.now {
+		return ErrPast
 	}
-	it := heap.Pop(&s.queue).(*item)
-	s.now = it.at
+	idx := s.alloc()
+	s.seq++
+	sl := &s.slots[idx]
+	sl.at, sl.seq, sl.fn = t, s.seq, nil
+	sl.hid, sl.op, sl.a, sl.b = h, op, a, b
+	s.push(idx, t)
+	return nil
+}
+
+// AfterEvent schedules a typed event d after the current virtual time.
+// Negative d is treated as zero.
+func (s *Scheduler) AfterEvent(d time.Duration, h HandlerID, op uint8, a, b uint64) {
+	if d < 0 {
+		d = 0
+	}
+	// s.now+d >= s.now always holds, so AtEvent cannot fail.
+	_ = s.AtEvent(s.now+d, h, op, a, b)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// when no events remain. When the front timestamp changes, the whole
+// same-tick run is drained into the batch scratch in one pass; each Step
+// still fires exactly one event, so event budgets and Executed counts
+// are unchanged from the heap kernel.
+func (s *Scheduler) Step() bool {
+	if s.batchPos >= len(s.batch) {
+		if _, ok := s.peek(); !ok {
+			return false
+		}
+		// peek left the front run at bottom[bottomPos:]; drain the
+		// same-tick prefix.
+		s.batch, s.batchPos = s.batch[:0], 0
+		t := s.slots[s.bottom[s.bottomPos]].at
+		s.batchTime = t
+		for s.bottomPos < len(s.bottom) && s.slots[s.bottom[s.bottomPos]].at == t {
+			s.batch = append(s.batch, s.bottom[s.bottomPos])
+			s.bottomPos++
+		}
+	}
+	idx := s.batch[s.batchPos]
+	s.batchPos++
+	sl := &s.slots[idx]
+	s.now = s.batchTime
 	s.executed++
-	it.fn()
+	s.size--
+	fn, hid, op, a, b := sl.fn, sl.hid, sl.op, sl.a, sl.b
+	s.freeSlot(idx)
+	if fn != nil {
+		fn()
+	} else {
+		s.handlers[hid].HandleEvent(op, a, b)
+	}
 	return true
 }
 
@@ -87,7 +254,11 @@ var ErrBudget = errors.New("sim: event budget exhausted")
 // (maxEvents ≤ 0 means unlimited).
 func (s *Scheduler) RunUntil(horizon time.Duration, maxEvents uint64) error {
 	fired := uint64(0)
-	for s.queue.Len() > 0 && s.queue[0].at <= horizon {
+	for {
+		t, ok := s.peek()
+		if !ok || t > horizon {
+			break
+		}
 		if maxEvents > 0 && fired >= maxEvents {
 			return ErrBudget
 		}
@@ -100,32 +271,253 @@ func (s *Scheduler) RunUntil(horizon time.Duration, maxEvents uint64) error {
 	return nil
 }
 
-type item struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-type eventQueue []*item
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// alloc takes a slot off the free list, growing the slab when empty.
+func (s *Scheduler) alloc() int32 {
+	if s.free != 0 {
+		idx := s.free - 1
+		s.free = s.slots[idx].next
+		return idx
 	}
-	return q[i].seq < q[j].seq
+	s.slots = append(s.slots, evSlot{})
+	return int32(len(s.slots) - 1)
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// freeSlot returns a slot to the free list, dropping the closure
+// reference so fired events do not pin their captures.
+func (s *Scheduler) freeSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.next = s.free
+	s.free = idx + 1
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*item)) }
+// push routes a filled slot into its tier. Invariants: batch timestamps
+// == batchTime == now while a batch is live; bottom timestamps < low;
+// bucket i holds [start+i*width, ...) within [low, end); top holds
+// >= end. An empty scheduler has low == end, so everything overflows to
+// top and the first peek spans the wheel over the exact pending range.
+func (s *Scheduler) push(idx int32, t time.Duration) {
+	s.size++
+	switch {
+	case s.batchPos < len(s.batch) && t == s.batchTime:
+		// Same-tick schedule during dispatch: the new event carries the
+		// largest sequence number, so appending keeps batch order.
+		s.batch = append(s.batch, idx)
+	case t < s.low:
+		s.bottomInsert(idx, t)
+	case t < s.end:
+		b := int((t - s.start) / s.width)
+		s.buckets[b] = append(s.buckets[b], idx)
+		s.inWheel++
+	default:
+		s.top = append(s.top, idx)
+	}
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+// bottomInsert places a slot into the sorted bottom run by (at, seq).
+func (s *Scheduler) bottomInsert(idx int32, t time.Duration) {
+	seq := s.slots[idx].seq
+	lo, hi := s.bottomPos, len(s.bottom)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sl := &s.slots[s.bottom[mid]]
+		if sl.at < t || (sl.at == t && sl.seq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.bottom = append(s.bottom, 0)
+	copy(s.bottom[lo+1:], s.bottom[lo:])
+	s.bottom[lo] = idx
+}
+
+// peek returns the earliest pending timestamp, pulling the next sorted
+// run into bottom when needed. It never starts a new batch — only Step
+// does — so an unconsumed batch outside Step always sits at now.
+func (s *Scheduler) peek() (time.Duration, bool) {
+	if s.batchPos < len(s.batch) {
+		return s.batchTime, true
+	}
+	if s.bottomPos < len(s.bottom) {
+		return s.slots[s.bottom[s.bottomPos]].at, true
+	}
+	s.bottom, s.bottomPos = s.bottom[:0], 0
+	for {
+		for s.inWheel > 0 {
+			b := s.buckets[s.cur]
+			if len(b) == 0 {
+				s.advance()
+				continue
+			}
+			mn, mx, sorted := s.scanBucket(b)
+			if mn != mx && !sorted && len(b) > sortThreshold {
+				// Too big to sort and spanning several ticks: re-span
+				// the wheel over this bucket at finer width.
+				s.respan(s.scratchBucket(), mn, mx)
+				continue
+			}
+			s.bottom = append(s.bottom, b...)
+			if !sorted {
+				slices.SortFunc(s.bottom, func(x, y int32) int {
+					sx, sy := &s.slots[x], &s.slots[y]
+					if sx.at != sy.at {
+						if sx.at < sy.at {
+							return -1
+						}
+						return 1
+					}
+					if sx.seq < sy.seq {
+						return -1
+					}
+					return 1
+				})
+			}
+			s.inWheel -= len(b)
+			s.buckets[s.cur] = b[:0]
+			s.advance()
+			return s.slots[s.bottom[0]].at, true
+		}
+		if len(s.top) > 0 {
+			mn, mx := s.topMin(), s.topMax()
+			if mn == math.MaxInt64 {
+				// Only saturated-horizon events remain. They never enter
+				// the wheel (see respan), so top holds them in push — and
+				// therefore sequence — order already: one same-tick run,
+				// moved to bottom wholesale.
+				s.bottom = append(s.bottom[:0], s.top...)
+				s.top = s.top[:0]
+				s.cur, s.low, s.end = 0, math.MaxInt64, math.MaxInt64
+				return math.MaxInt64, true
+			}
+			// Everything nearer is drained: span the wheel over top's
+			// exact range and absorb it.
+			evs := s.top
+			s.top = s.top[:0]
+			s.respan(evs, mn, mx)
+			continue
+		}
+		// Nothing pending anywhere: collapse to the unspanned state so
+		// the next burst of pushes gets a fresh, tight window.
+		s.cur, s.low, s.end = 0, 0, 0
+		return 0, false
+	}
+}
+
+// advance moves consumption past the current bucket, keeping low — the
+// wheel's lower admission bound — in step.
+func (s *Scheduler) advance() {
+	s.cur++
+	if s.cur >= nBuckets {
+		s.low = s.end
+		return
+	}
+	s.low = satAdd(s.low, s.width)
+	if s.low > s.end {
+		s.low = s.end
+	}
+}
+
+// scanBucket reports the timestamp range of a bucket and whether it is
+// already (at, seq)-sorted. Appends preserve sequence order, so
+// non-decreasing timestamps imply full sortedness — the common case for
+// single-tick bursts and monotone hop chains.
+func (s *Scheduler) scanBucket(b []int32) (mn, mx time.Duration, sorted bool) {
+	mn = s.slots[b[0]].at
+	mx = mn
+	sorted = true
+	prev := mn
+	for _, idx := range b[1:] {
+		at := s.slots[idx].at
+		if at < prev {
+			sorted = false
+		}
+		if at < mn {
+			mn = at
+		}
+		if at > mx {
+			mx = at
+		}
+		prev = at
+	}
+	return mn, mx, sorted
+}
+
+// scratchBucket moves the current bucket into the scratch slice (so
+// respan can refill the bucket array it came from) and dumps every
+// later bucket to top — those all carry timestamps at or beyond the new,
+// tighter horizon.
+func (s *Scheduler) scratchBucket() []int32 {
+	s.scratch = append(s.scratch[:0], s.buckets[s.cur]...)
+	s.buckets[s.cur] = s.buckets[s.cur][:0]
+	for i := s.cur + 1; i < nBuckets; i++ {
+		if len(s.buckets[i]) == 0 {
+			continue
+		}
+		s.top = append(s.top, s.buckets[i]...)
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.inWheel = 0
+	return s.scratch
+}
+
+// respan re-spans the wheel over exactly [mn, mx] and distributes evs
+// into it. Iteration order preserves per-bucket sequence order: evs is
+// in push order within any one timestamp (proved by the routing
+// invariants), and same-timestamp events always share a bucket.
+//
+// Saturated-horizon events stay out of the wheel: with mx at the
+// maximum representable time, end saturates to mx itself, and admitting
+// t == end would let a later same-timestamp push (routed to top by
+// t >= end) overtake an earlier one on the next re-span. They go back
+// to top, where push order is sequence order. Callers pass evs either
+// detached from s.top or from the scratch slice, so the filtered
+// re-append cannot alias the iteration.
+func (s *Scheduler) respan(evs []int32, mn, mx time.Duration) {
+	s.start = mn
+	s.width = (mx-mn)/nBuckets + 1
+	s.low = mn
+	s.end = satAdd(mx, 1)
+	s.cur = 0
+	for _, idx := range evs {
+		at := s.slots[idx].at
+		if at >= s.end {
+			s.top = append(s.top, idx)
+			continue
+		}
+		b := int((at - mn) / s.width)
+		s.buckets[b] = append(s.buckets[b], idx)
+		s.inWheel++
+	}
+}
+
+// topMin scans top's earliest timestamp.
+func (s *Scheduler) topMin() time.Duration {
+	mn := s.slots[s.top[0]].at
+	for _, idx := range s.top[1:] {
+		if at := s.slots[idx].at; at < mn {
+			mn = at
+		}
+	}
+	return mn
+}
+
+// topMax scans top's latest timestamp.
+func (s *Scheduler) topMax() time.Duration {
+	mx := s.slots[s.top[0]].at
+	for _, idx := range s.top[1:] {
+		if at := s.slots[idx].at; at > mx {
+			mx = at
+		}
+	}
+	return mx
+}
+
+// satAdd adds durations, saturating at the maximum representable time
+// so max-horizon events route correctly instead of wrapping negative.
+func satAdd(a, b time.Duration) time.Duration {
+	if c := a + b; c >= a {
+		return c
+	}
+	return math.MaxInt64
 }
